@@ -1,0 +1,13 @@
+"""Ablation benchmark: on-chip cache size vs RNN step time/utilization.
+
+Run:  pytest benchmarks/bench_ablation_cache.py --benchmark-only -s
+"""
+
+from repro.reports import ablation_cache_size
+
+
+def test_ablation_cache(benchmark):
+    report = benchmark.pedantic(ablation_cache_size, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    print()
+    print(report.render())

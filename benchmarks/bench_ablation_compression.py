@@ -1,0 +1,13 @@
+"""Ablation benchmark: gradient compression vs data-parallel overhead.
+
+Run:  pytest benchmarks/bench_ablation_compression.py --benchmark-only -s
+"""
+
+from repro.reports import ablation_compression
+
+
+def test_ablation_compression(benchmark):
+    report = benchmark.pedantic(ablation_compression, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    print()
+    print(report.render())

@@ -1,0 +1,13 @@
+"""Ablation benchmark: elementwise kernel fusion vs step traffic.
+
+Run:  pytest benchmarks/bench_ablation_fusion.py --benchmark-only -s
+"""
+
+from repro.reports import ablation_fusion
+
+
+def test_ablation_fusion(benchmark):
+    report = benchmark.pedantic(ablation_fusion, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    print()
+    print(report.render())

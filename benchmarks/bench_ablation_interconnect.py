@@ -1,0 +1,13 @@
+"""Ablation benchmark: interconnect bandwidth vs data-parallel efficiency.
+
+Run:  pytest benchmarks/bench_ablation_interconnect.py --benchmark-only -s
+"""
+
+from repro.reports import ablation_interconnect
+
+
+def test_ablation_interconnect(benchmark):
+    report = benchmark.pedantic(ablation_interconnect, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    print()
+    print(report.render())

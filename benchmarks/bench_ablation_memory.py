@@ -1,0 +1,13 @@
+"""Ablation benchmark: accelerator memory capacity vs model-parallel ways.
+
+Run:  pytest benchmarks/bench_ablation_memory.py --benchmark-only -s
+"""
+
+from repro.reports import ablation_memory_capacity
+
+
+def test_ablation_memory(benchmark):
+    report = benchmark.pedantic(ablation_memory_capacity, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    print()
+    print(report.render())

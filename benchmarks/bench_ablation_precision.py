@@ -1,0 +1,13 @@
+"""Ablation benchmark: fp32 vs fp16 storage for the word LM.
+
+Run:  pytest benchmarks/bench_ablation_precision.py --benchmark-only -s
+"""
+
+from repro.reports import ablation_precision
+
+
+def test_ablation_precision(benchmark):
+    report = benchmark.pedantic(ablation_precision, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    print()
+    print(report.render())

@@ -1,0 +1,13 @@
+"""Ablation benchmark: footprint traversal-strategy sensitivity.
+
+Run:  pytest benchmarks/bench_ablation_scheduler.py --benchmark-only -s
+"""
+
+from repro.reports import ablation_scheduler
+
+
+def test_ablation_scheduler(benchmark):
+    report = benchmark.pedantic(ablation_scheduler, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    print()
+    print(report.render())

@@ -1,0 +1,13 @@
+"""Ablation benchmark: auto-planned parallelism per frontier domain.
+
+Run:  pytest benchmarks/bench_auto_plan_frontier.py --benchmark-only -s
+"""
+
+from repro.reports import auto_plan_frontier
+
+
+def test_auto_plan(benchmark):
+    report = benchmark.pedantic(auto_plan_frontier, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    print()
+    print(report.render())

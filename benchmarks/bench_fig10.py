@@ -1,0 +1,13 @@
+"""Benchmark: regenerate paper Figure 10 (Figure 10, minimal memory footprint vs model size).
+
+Run:  pytest benchmarks/bench_fig10.py --benchmark-only -s
+"""
+
+from repro.reports import fig10
+
+
+def test_fig10(benchmark):
+    report = benchmark.pedantic(fig10, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    print()
+    print(report.render())

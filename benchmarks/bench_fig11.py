@@ -1,0 +1,13 @@
+"""Benchmark: regenerate paper Figure 11 (Figure 11, subbatch-size selection for the word LM).
+
+Run:  pytest benchmarks/bench_fig11.py --benchmark-only -s
+"""
+
+from repro.reports import fig11
+
+
+def test_fig11(benchmark):
+    report = benchmark.pedantic(fig11, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    print()
+    print(report.render())

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate paper Figure 12 (Figure 12, data-parallel scaling of the word LM).
+
+Run:  pytest benchmarks/bench_fig12.py --benchmark-only -s
+"""
+
+from repro.reports import fig12
+
+
+def test_fig12(benchmark):
+    report = benchmark.pedantic(fig12, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    print()
+    print(report.render())

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate paper Figure 6 (Figure 6, three-region power-law learning curve).
+
+Run:  pytest benchmarks/bench_fig6.py --benchmark-only -s
+"""
+
+from repro.reports import fig6
+
+
+def test_fig6(benchmark):
+    report = benchmark.pedantic(fig6, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    print()
+    print(report.render())

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate paper Figure 7 (Figure 7, per-sample FLOPs vs model size).
+
+Run:  pytest benchmarks/bench_fig7.py --benchmark-only -s
+"""
+
+from repro.reports import fig7
+
+
+def test_fig7(benchmark):
+    report = benchmark.pedantic(fig7, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    print()
+    print(report.render())

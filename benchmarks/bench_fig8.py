@@ -1,0 +1,13 @@
+"""Benchmark: regenerate paper Figure 8 (Figure 8, bytes accessed per step vs model size).
+
+Run:  pytest benchmarks/bench_fig8.py --benchmark-only -s
+"""
+
+from repro.reports import fig8
+
+
+def test_fig8(benchmark):
+    report = benchmark.pedantic(fig8, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    print()
+    print(report.render())

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate paper Figure 9 (Figure 9, operational intensity vs model size).
+
+Run:  pytest benchmarks/bench_fig9.py --benchmark-only -s
+"""
+
+from repro.reports import fig9
+
+
+def test_fig9(benchmark):
+    report = benchmark.pedantic(fig9, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    print()
+    print(report.render())

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate paper Table 1 (Table 1, learning-curve constants and projected data/model scale).
+
+Run:  pytest benchmarks/bench_table1.py --benchmark-only -s
+"""
+
+from repro.reports import table1
+
+
+def test_table1(benchmark):
+    report = benchmark.pedantic(table1, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    print()
+    print(report.render())

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate paper Table 2 (Table 2, asymptotic compute requirements (gamma/lambda/mu/delta)).
+
+Run:  pytest benchmarks/bench_table2.py --benchmark-only -s
+"""
+
+from repro.reports import table2
+
+
+def test_table2(benchmark):
+    report = benchmark.pedantic(table2, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    print()
+    print(report.render())

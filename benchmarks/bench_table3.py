@@ -1,0 +1,13 @@
+"""Benchmark: regenerate paper Table 3 (Table 3, frontier training requirements per domain).
+
+Run:  pytest benchmarks/bench_table3.py --benchmark-only -s
+"""
+
+from repro.reports import table3
+
+
+def test_table3(benchmark):
+    report = benchmark.pedantic(table3, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    print()
+    print(report.render())

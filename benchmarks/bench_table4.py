@@ -1,0 +1,13 @@
+"""Benchmark: regenerate paper Table 4 (Table 4, target accelerator configuration).
+
+Run:  pytest benchmarks/bench_table4.py --benchmark-only -s
+"""
+
+from repro.reports import table4
+
+
+def test_table4(benchmark):
+    report = benchmark.pedantic(table4, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    print()
+    print(report.render())

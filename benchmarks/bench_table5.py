@@ -1,0 +1,13 @@
+"""Benchmark: regenerate paper Table 5 (Table 5, word-LM parallelization ladder).
+
+Run:  pytest benchmarks/bench_table5.py --benchmark-only -s
+"""
+
+from repro.reports import table5
+
+
+def test_table5(benchmark):
+    report = benchmark.pedantic(table5, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    print()
+    print(report.render())

@@ -1,0 +1,7 @@
+"""Shared benchmark configuration.
+
+The report generators reuse memoized domain sweeps, so the whole
+benchmark suite performs each expensive sweep exactly once per process.
+Benchmarks run with ``rounds=1``: these are end-to-end experiment
+regenerations (seconds to minutes), not microbenchmarks.
+"""

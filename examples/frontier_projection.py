@@ -1,0 +1,65 @@
+"""Project a domain's data/model/compute needs to a target accuracy.
+
+Reproduces the paper's §3+§5 pipeline end-to-end for one domain and
+shows how to project a *custom* domain from your own learning-curve
+constants.
+
+Run:  python examples/frontier_projection.py
+"""
+
+from repro.analysis import sweep_domain
+from repro.hardware import V100_LIKE, roofline_time
+from repro.planner import choose_subbatch
+from repro.scaling import LearningCurve, ModelSizeCurve, project_domain
+
+
+def paper_domain() -> None:
+    """NMT: the domain our pipeline reproduces most exactly."""
+    proj = project_domain("nmt")
+    print(f"=== {proj.display} ===")
+    print(f"accuracy target : {proj.current_sota:.2f} -> "
+          f"{proj.desired_sota:.2f} WPER "
+          f"({proj.improvement:.2f}x better)")
+    print(f"data needed     : {proj.data_scale:.0f}x -> "
+          f"{proj.target_samples:.3g} {proj.sample_unit}  [paper: 750x]")
+    print(f"model needed    : {proj.model_scale:.1f}x -> "
+          f"{proj.target_params:.3g} params          [paper: 90x]")
+
+    # compute requirements at the frontier (Table 3 row)
+    first_order = sweep_domain("nmt", include_footprint=False).symbolic
+    choice = choose_subbatch(first_order, proj.target_params, V100_LIKE)
+    b = choice.chosen
+    rt = roofline_time(
+        first_order.step_flops(proj.target_params, b),
+        first_order.step_bytes(proj.target_params, b),
+        V100_LIKE,
+    )
+    print(f"chosen subbatch : {b} "
+          f"(ridge-match {choice.ridge_match:.0f})")
+    print(f"step time       : {rt.step_time:.1f} s on one accelerator")
+    print()
+
+
+def custom_domain() -> None:
+    """Your own task: supply (alpha, beta_g) and (sigma, beta_p)."""
+    curve = LearningCurve(alpha=8.0, beta=-0.15, irreducible=0.02)
+    capacity = ModelSizeCurve(sigma=5e-4, beta=0.7)
+
+    current_error = curve.error(50e6)       # trained on 50M samples today
+    target_error = 0.06                     # product requirement
+    data_scale = curve.data_scale(current_error, target_error)
+    model_scale = capacity.model_scale(data_scale)
+
+    print("=== custom domain ===")
+    print(f"current error at 50M samples : {current_error:.4f}")
+    print(f"target error                 : {target_error:.4f}")
+    print(f"data scale needed            : {data_scale:.1f}x "
+          f"({50e6 * data_scale:.3g} samples)")
+    print(f"model scale needed           : {model_scale:.1f}x")
+    print(f"region at target             : "
+          f"{curve.region(50e6 * data_scale)}")
+
+
+if __name__ == "__main__":
+    paper_domain()
+    custom_domain()

@@ -1,0 +1,55 @@
+"""Quickstart: analyze a word LM's training-step requirements.
+
+Builds the paper's word language model (Fig. 2) with the hidden width
+and subbatch left *symbolic*, derives closed-form requirement formulas,
+then binds concrete sizes and projects a best-case training-step time
+on a V100-class accelerator with the Roofline model.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import StepCounts, derive_symbolic
+from repro.hardware import V100_LIKE, roofline_time
+from repro.models import build_word_lm
+
+
+def main() -> None:
+    # -- build the model with symbolic hidden width h and subbatch b ----
+    model = build_word_lm(vocab=40_000, layers=2, seq_len=80)
+    counts = StepCounts(model)
+
+    print("=== symbolic requirement formulas ===")
+    print(f"parameters      p(h) = {counts.params}")
+    print(f"FLOPs/sample  ct(h)  = {counts.flops_per_sample}")
+    print()
+
+    # -- the paper's Table 2 constants fall out as exact asymptotics ----
+    first_order = derive_symbolic(counts)
+    print("=== first-order constants (paper Table 2 row) ===")
+    print(f"gamma (FLOPs/param/sample) = {first_order.gamma:.0f}"
+          "   [paper: 481]")
+    print(f"lambda (bytes/param)       = {first_order.lam:.0f}"
+          "   [paper: 1755]")
+    print(f"intensity formula          = {first_order.intensity_formula()}")
+    print()
+
+    # -- bind a concrete configuration and project hardware time --------
+    hidden, subbatch = 2048, 128
+    bindings = counts.bind(hidden, subbatch)
+    ct = counts.step_flops.evalf(bindings)
+    at = counts.step_bytes.evalf(bindings)
+    result = roofline_time(ct, at, V100_LIKE)
+
+    print(f"=== h={hidden}, subbatch={subbatch} on {V100_LIKE.name} ===")
+    print(f"parameters        : {counts.params.evalf(bindings):.3g}")
+    print(f"step FLOPs        : {ct:.3g}")
+    print(f"step bytes        : {at:.3g}")
+    print(f"op intensity      : {ct / at:.1f} FLOP/B "
+          f"(ridge point {V100_LIKE.effective_ridge_point:.1f})")
+    print(f"best-case step    : {result.step_time * 1e3:.1f} ms "
+          f"({'memory' if result.memory_bound else 'compute'}-bound)")
+    print(f"FLOP utilization  : {result.flop_utilization * 100:.0f}%")
+
+
+if __name__ == "__main__":
+    main()

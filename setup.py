@@ -1,0 +1,27 @@
+"""Packaging for the repro library.
+
+Classic setuptools metadata (instead of PEP 621) because the offline
+environment lacks the ``wheel`` package required by PEP-517 editable
+installs; ``pip install -e . --no-build-isolation`` uses the legacy
+``setup.py develop`` path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Beyond Human-Level Accuracy: Computational "
+        "Challenges in Deep Learning' (Hestness et al., PPoPP 2019): "
+        "symbolic compute-graph analysis, scaling-law projection, and "
+        "large-scale training parallelism modeling."
+    ),
+    license="Apache-2.0",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.20"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+    entry_points={"console_scripts": ["repro-report=repro.cli:main"]},
+)

@@ -1,0 +1,23 @@
+"""Analysis layer: aggregate counts, first-order models, footprints, sweeps.
+
+Turns built model graphs into the paper's quantities: per-step/per-
+sample FLOPs and bytes (§4.2–4.3), operational intensity (§4.4),
+minimal memory footprint (§4.5), and the Table 2 first-order constants.
+"""
+
+from .counters import StepCounts
+from .firstorder import FirstOrderModel, derive_symbolic, fit_numeric
+from .footprint import FootprintEstimate, estimate_footprint
+from .sweep import SweepResult, SweepRow, sweep_domain
+
+__all__ = [
+    "StepCounts",
+    "FirstOrderModel",
+    "derive_symbolic",
+    "fit_numeric",
+    "FootprintEstimate",
+    "estimate_footprint",
+    "SweepResult",
+    "SweepRow",
+    "sweep_domain",
+]

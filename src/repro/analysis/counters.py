@@ -1,0 +1,119 @@
+"""Training-step requirement counters (§2.1 quantities, per model).
+
+Wraps a built model and exposes the paper's four algorithmic measures,
+as expressions symbolic in subbatch ``b`` (and the model-size symbol
+when the builder left one free):
+
+* FLOPs per training step, and per sample (the linear-in-``b``
+  coefficient — the quantity Figure 7 plots);
+* bytes accessed per step, split into the batch-independent part
+  (weight traffic, the ``λp`` term) and the per-sample part
+  (activation traffic, the ``µb√p`` term) — Figure 8;
+* graph-level operational intensity — Figure 9;
+* algorithmic IO.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..models.base import BuiltModel
+from ..symbolic import Expr, coefficient
+
+__all__ = ["StepCounts"]
+
+
+class StepCounts:
+    """Lazily-computed aggregate counts for one model's training step."""
+
+    def __init__(self, model: BuiltModel):
+        if not model.meta.get("training_step_built"):
+            raise ValueError(
+                f"model {model.domain} has no training step; call "
+                "with_training_step() first so counts cover fwd+bwd+update"
+            )
+        self.model = model
+        self._cache: dict = {}
+
+    # -- raw aggregates -----------------------------------------------------
+    @property
+    def params(self) -> Expr:
+        return self.model.graph.parameter_count()
+
+    @property
+    def step_flops(self) -> Expr:
+        """Algorithmic FLOPs for one training step (symbolic in b)."""
+        return self.model.graph.total_flops()
+
+    @property
+    def step_bytes(self) -> Expr:
+        """Algorithmic bytes accessed for one training step."""
+        return self.model.graph.total_bytes_accessed()
+
+    @property
+    def io_bytes(self) -> Expr:
+        """Algorithmic IO (training-data bytes) per step."""
+        return self.model.graph.algorithmic_io_bytes()
+
+    # -- decompositions in the subbatch -------------------------------------
+    def _coeff(self, key: str, expr_name: str, power: int) -> Expr:
+        cache_key = (key, power)
+        if cache_key not in self._cache:
+            expr = getattr(self, expr_name)
+            self._cache[cache_key] = coefficient(
+                expr, self.model.batch, power
+            )
+        return self._cache[cache_key]
+
+    @property
+    def flops_per_sample(self) -> Expr:
+        """FLOPs linear in b — per-sample compute (Fig. 7's y-axis)."""
+        return self._coeff("flops", "step_flops", 1)
+
+    @property
+    def flops_fixed(self) -> Expr:
+        """Batch-independent FLOPs (weight update etc.)."""
+        return self._coeff("flops", "step_flops", 0)
+
+    @property
+    def bytes_per_sample(self) -> Expr:
+        """Bytes linear in b — activation traffic (the µ√p term)."""
+        return self._coeff("bytes", "step_bytes", 1)
+
+    @property
+    def bytes_fixed(self) -> Expr:
+        """Batch-independent bytes — weight traffic (the λp term)."""
+        return self._coeff("bytes", "step_bytes", 0)
+
+    # -- evaluated quantities -------------------------------------------------
+    def bind(self, size=None, subbatch=None,
+             extra: Optional[Mapping] = None) -> dict:
+        """Assemble a bindings dict for this model's free symbols."""
+        bindings = dict(extra or {})
+        if size is not None:
+            if self.model.size_symbol is None:
+                raise ValueError("model was built with a concrete size")
+            bindings[self.model.size_symbol] = size
+        if subbatch is not None:
+            bindings[self.model.batch] = subbatch
+        return bindings
+
+    def eval_params(self, size=None) -> float:
+        return self.params.evalf(self.bind(size))
+
+    def eval_step_flops(self, size=None, subbatch=None) -> float:
+        return self.step_flops.evalf(self.bind(size, subbatch))
+
+    def eval_step_bytes(self, size=None, subbatch=None) -> float:
+        return self.step_bytes.evalf(self.bind(size, subbatch))
+
+    def eval_flops_per_sample(self, size=None) -> float:
+        return self.flops_per_sample.evalf(self.bind(size))
+
+    def eval_intensity(self, size=None, subbatch=None) -> float:
+        """Graph-level operational intensity, FLOP/B (Fig. 9/11)."""
+        bindings = self.bind(size, subbatch)
+        total_bytes = self.step_bytes.evalf(bindings)
+        if total_bytes == 0:
+            return 0.0
+        return self.step_flops.evalf(bindings) / total_bytes

@@ -1,0 +1,120 @@
+"""Model-size sweeps: the data series behind Figures 7–10.
+
+One symbolic graph per domain is bound at each sweep size; every
+quantity (params, FLOPs/sample, GB accessed/step, operational
+intensity, minimal footprint) is evaluated from the same aggregate
+expressions, mirroring how the paper collects one TFprof profile per
+trained configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..models.registry import DomainEntry, build_symbolic, get_domain
+from .counters import StepCounts
+from .firstorder import FirstOrderModel, derive_symbolic, fit_numeric
+from .footprint import estimate_footprint
+
+__all__ = ["SweepResult", "SweepRow", "sweep_domain"]
+
+#: greedy scheduling is O(V·ready); skip it above this op count and use
+#: program order (the difference is small for these graphs)
+_GREEDY_OP_LIMIT = 20_000
+
+
+@dataclass
+class SweepRow:
+    """One model size's measurements (a point on Figs 7–10)."""
+
+    size: float                 # hidden width or width multiplier
+    params: float
+    flops_per_sample: float     # Fig 7 y-axis
+    step_bytes: float           # Fig 8 y-axis (fixed subbatch)
+    intensity: float            # Fig 9 y-axis
+    footprint_bytes: float      # Fig 10 y-axis
+    bytes_fixed: float = 0.0    # λp component
+    bytes_per_sample: float = 0.0  # µ√p component (per sample)
+
+
+@dataclass
+class SweepResult:
+    """A full domain sweep plus its fitted first-order model."""
+
+    domain: str
+    subbatch: int
+    rows: List[SweepRow] = field(default_factory=list)
+    symbolic: Optional[FirstOrderModel] = None
+    fitted: Optional[FirstOrderModel] = None
+
+
+_SWEEP_CACHE: dict = {}
+
+
+def sweep_domain(key: str, *, subbatch: Optional[int] = None,
+                 include_footprint: bool = True,
+                 sizes=None) -> SweepResult:
+    """Run the Figure 7–10 sweep for one domain (memoized).
+
+    Sweeps over large unrolled graphs are expensive (tens of seconds);
+    reports and benchmarks share one cached result per configuration.
+    """
+    cache_key = (key, subbatch, include_footprint,
+                 tuple(sizes) if sizes is not None else None)
+    if cache_key in _SWEEP_CACHE:
+        return _SWEEP_CACHE[cache_key]
+    result = _sweep_domain_uncached(key, subbatch=subbatch,
+                                    include_footprint=include_footprint,
+                                    sizes=sizes)
+    _SWEEP_CACHE[cache_key] = result
+    return result
+
+
+def _sweep_domain_uncached(key: str, *, subbatch: Optional[int] = None,
+                           include_footprint: bool = True,
+                           sizes=None) -> SweepResult:
+    entry: DomainEntry = get_domain(key)
+    model = build_symbolic(key)
+    counts = StepCounts(model)
+    subbatch = subbatch if subbatch is not None else entry.subbatch
+    sizes = list(sizes) if sizes is not None else list(entry.sweep_sizes)
+
+    result = SweepResult(domain=key, subbatch=subbatch)
+    use_greedy = len(model.graph) <= _GREEDY_OP_LIMIT
+
+    footprints = []
+    for size in sizes:
+        bindings = counts.bind(size, subbatch)
+        params = counts.params.evalf(bindings)
+        footprint = 0.0
+        if include_footprint:
+            footprint = float(
+                estimate_footprint(model, bindings,
+                                   use_greedy=use_greedy).minimal_bytes
+            )
+            footprints.append(footprint)
+        result.rows.append(SweepRow(
+            size=size,
+            params=params,
+            flops_per_sample=counts.flops_per_sample.evalf(bindings),
+            step_bytes=counts.step_bytes.evalf(bindings),
+            intensity=counts.eval_intensity(size, subbatch),
+            footprint_bytes=footprint,
+            bytes_fixed=counts.bytes_fixed.evalf(bindings),
+            bytes_per_sample=counts.bytes_per_sample.evalf(bindings),
+        ))
+
+    result.fitted = fit_numeric(
+        key,
+        [r.params for r in result.rows],
+        [r.flops_per_sample for r in result.rows],
+        [r.bytes_fixed for r in result.rows],
+        [r.bytes_per_sample for r in result.rows],
+        footprints or None,
+        footprint_subbatch=subbatch,
+    )
+    # footprint has no closed symbolic form: reuse the numeric fit
+    result.symbolic = derive_symbolic(counts, delta=result.fitted.delta)
+    result.symbolic.phi = result.fitted.phi
+    return result

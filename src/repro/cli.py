@@ -1,0 +1,71 @@
+"""Command-line entry point: ``repro-report <exhibit> [--csv]``.
+
+Regenerates any table or figure of the paper's evaluation from the
+terminal::
+
+    repro-report table1
+    repro-report fig9 --csv > fig9.csv
+    repro-report all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .reports import ALL_REPORTS
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-report",
+        description="Regenerate tables/figures from 'Beyond Human-Level "
+                    "Accuracy: Computational Challenges in Deep Learning' "
+                    "(Hestness et al., PPoPP 2019).",
+    )
+    parser.add_argument(
+        "exhibit",
+        choices=sorted(ALL_REPORTS) + ["all", "describe"],
+        help="which paper exhibit to regenerate, or 'describe' for a "
+             "Catamount-style per-model analysis",
+    )
+    parser.add_argument(
+        "--csv", action="store_true",
+        help="emit CSV instead of a rendered table/chart",
+    )
+    parser.add_argument(
+        "--domain", default="word_lm",
+        help="(describe) registry domain: word_lm, char_lm, nmt, "
+             "speech, image",
+    )
+    parser.add_argument(
+        "--size", type=float, default=None,
+        help="(describe) model-size knob (hidden width or width "
+             "multiplier); defaults to mid-sweep",
+    )
+    parser.add_argument(
+        "--subbatch", type=int, default=None,
+        help="(describe) subbatch size; defaults to the Table 3 choice",
+    )
+    args = parser.parse_args(argv)
+
+    if args.exhibit == "describe":
+        from .reports import describe_domain
+
+        print(describe_domain(args.domain, size=args.size,
+                              subbatch=args.subbatch))
+        return 0
+
+    names = sorted(ALL_REPORTS) if args.exhibit == "all" else [args.exhibit]
+    for name in names:
+        report = ALL_REPORTS[name]()
+        print(report.to_csv() if args.csv else report.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

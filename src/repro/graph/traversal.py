@@ -1,0 +1,175 @@
+"""Graph traversal: topological orders, liveness, and schedules.
+
+The paper's *algorithmic memory footprint* is the minimum over all
+correct topological traversals of the peak live-tensor memory (§2.1).
+Finding the true minimum is NP-hard (it generalizes register
+sufficiency), so — like Catamount — we compute it with schedules that
+are cheap and close to optimal in practice:
+
+* :func:`topological_order` — deterministic Kahn order (program order
+  among ready ops), modeling a framework that executes ops as issued;
+* :func:`memory_greedy_order` — at every step run the ready op that
+  minimizes the resulting live set, a strong footprint heuristic.
+
+:func:`liveness_peak` replays any schedule and returns the high-water
+mark of live bytes; persistent tensors (weights) are charged once.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from .graph import Graph
+from .op import Op
+from .tensor import Tensor
+
+__all__ = [
+    "topological_order",
+    "memory_greedy_order",
+    "liveness_peak",
+    "evaluate_sizes",
+]
+
+
+def topological_order(graph: Graph) -> List[Op]:
+    """Kahn's algorithm; among ready ops, preserves insertion order.
+
+    Raises ``ValueError`` if the graph has a cycle (malformed
+    construction) — every valid compute graph is a DAG.
+    """
+    pending: Dict[Op, int] = {}
+    ready: List[int] = []
+    op_index = {op: i for i, op in enumerate(graph.ops)}
+
+    for op in graph.ops:
+        # an op waits for each distinct producing op among its inputs
+        producers = {t.producer for t in op.inputs if t.producer is not None}
+        pending[op] = len(producers)
+        if pending[op] == 0:
+            heapq.heappush(ready, op_index[op])
+
+    order: List[Op] = []
+    while ready:
+        op = graph.ops[heapq.heappop(ready)]
+        order.append(op)
+        for out in op.outputs:
+            for consumer in out.consumers:
+                pending[consumer] -= 1
+                if pending[consumer] == 0:
+                    heapq.heappush(ready, op_index[consumer])
+    if len(order) != len(graph.ops):
+        raise ValueError(
+            f"graph {graph.name} has a cycle "
+            f"({len(graph.ops) - len(order)} ops unreachable)"
+        )
+    return order
+
+
+def evaluate_sizes(graph: Graph,
+                   bindings: Optional[Mapping] = None) -> Dict[Tensor, int]:
+    """Concrete byte size per tensor under the given symbol bindings."""
+    sizes: Dict[Tensor, int] = {}
+    for t in graph.tensors.values():
+        sizes[t] = int(round(t.size_bytes().evalf(bindings)))
+    return sizes
+
+
+def _consumer_counts(graph: Graph) -> Dict[Tensor, int]:
+    return {
+        t: len(t.consumers) for t in graph.tensors.values()
+    }
+
+
+def memory_greedy_order(graph: Graph,
+                        sizes: Mapping[Tensor, int]) -> List[Op]:
+    """Schedule that greedily minimizes live memory growth per step.
+
+    At each step, among ready ops pick the one whose execution changes
+    live bytes the least (bytes allocated for outputs minus bytes of
+    inputs that die).  Ties break on program order for determinism.
+    """
+    op_index = {op: i for i, op in enumerate(graph.ops)}
+    pending: Dict[Op, int] = {}
+    remaining = _consumer_counts(graph)
+    ready: List[Op] = []
+
+    for op in graph.ops:
+        producers = {t.producer for t in op.inputs if t.producer is not None}
+        pending[op] = len(producers)
+        if pending[op] == 0:
+            ready.append(op)
+
+    def delta(op: Op) -> int:
+        grow = sum(
+            sizes[t] for t in op.outputs if not t.is_persistent
+        )
+        shrink = 0
+        seen = set()
+        for t in op.inputs:
+            if t.is_persistent or t in seen:
+                continue
+            seen.add(t)
+            uses = sum(1 for c in t.consumers if c is op)
+            if remaining[t] - uses == 0:
+                shrink += sizes[t]
+        return grow - shrink
+
+    order: List[Op] = []
+    while ready:
+        best = min(ready, key=lambda op: (delta(op), op_index[op]))
+        ready.remove(best)
+        order.append(best)
+        seen = set()
+        for t in best.inputs:
+            if t in seen:
+                continue
+            seen.add(t)
+            remaining[t] -= sum(1 for c in t.consumers if c is best)
+        for out in best.outputs:
+            for consumer in out.consumers:
+                pending[consumer] -= 1
+                if pending[consumer] == 0:
+                    ready.append(consumer)
+    if len(order) != len(graph.ops):
+        raise ValueError(f"graph {graph.name} has a cycle")
+    return order
+
+
+def liveness_peak(
+    graph: Graph,
+    order: Sequence[Op],
+    sizes: Mapping[Tensor, int],
+    *,
+    include_params: bool = True,
+) -> int:
+    """Peak live bytes over a schedule (the footprint of that traversal).
+
+    A non-persistent tensor becomes live when produced and dies after
+    its last consumer executes.  Graph outputs (no consumers) stay live
+    to the end.  Persistent tensors (weights) and graph inputs are live
+    for the whole step.
+    """
+    persistent = 0
+    for t in graph.tensors.values():
+        if t.is_persistent or t.producer is None:
+            persistent += sizes[t]
+
+    remaining = _consumer_counts(graph)
+    live = 0
+    peak = 0
+    for op in order:
+        for out in op.outputs:
+            if not (out.is_persistent or out.producer is None):
+                live += sizes[out]
+        peak = max(peak, live)
+        seen = set()
+        for t in op.inputs:
+            if t.is_persistent or t.producer is None or t in seen:
+                continue
+            seen.add(t)
+            remaining[t] -= sum(1 for c in t.consumers if c is op)
+            if remaining[t] == 0:
+                live -= sizes[t]
+    base = persistent if include_params else 0
+    return base + peak

@@ -1,0 +1,29 @@
+"""Hardware models: accelerator config, Roofline, cache, interconnect.
+
+Everything the paper's §5–6 projections need, as analytical models of a
+V100-class accelerator (Table 4) — no hardware required, exactly as in
+the paper.
+"""
+
+from .accelerator import AcceleratorConfig, V100_LIKE
+from .cache import cache_aware_total_bytes, tile_size, tiled_matmul_bytes
+from .interconnect import (
+    point_to_point_time,
+    ring_allreduce_time,
+    ring_allreduce_wire_bytes,
+)
+from .roofline import RooflineResult, roofline_throughput, roofline_time
+
+__all__ = [
+    "AcceleratorConfig",
+    "V100_LIKE",
+    "roofline_time",
+    "roofline_throughput",
+    "RooflineResult",
+    "tile_size",
+    "tiled_matmul_bytes",
+    "cache_aware_total_bytes",
+    "ring_allreduce_time",
+    "ring_allreduce_wire_bytes",
+    "point_to_point_time",
+]

@@ -1,0 +1,54 @@
+"""Inter-accelerator communication models (paper §6.2.1).
+
+Synchronous SGD gradient reduction uses a bandwidth-optimal ring
+allreduce (Patarasuk & Yuan): each of n workers sends/receives
+``2·(n−1)/n`` times the gradient bytes, so wall-clock time is
+
+    t = 2·(n−1)/n · bytes / link_bandwidth  (+ per-step latency)
+
+independent of n to first order — but it *adds* to every training step,
+which is what erodes utilization in Figure 12 as workers scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ring_allreduce_time", "ring_allreduce_wire_bytes",
+           "point_to_point_time"]
+
+#: per-hop software/NIC latency (seconds); small but prevents the model
+#: from claiming free communication at tiny messages
+DEFAULT_HOP_LATENCY = 5e-6
+
+
+def ring_allreduce_wire_bytes(payload_bytes: float, workers: int) -> float:
+    """Bytes each worker moves on the wire for one allreduce."""
+    if workers < 1:
+        raise ValueError("need at least one worker")
+    if workers == 1:
+        return 0.0
+    return 2.0 * (workers - 1) / workers * payload_bytes
+
+
+def ring_allreduce_time(payload_bytes: float, workers: int,
+                        link_bandwidth: float, *,
+                        hop_latency: float = DEFAULT_HOP_LATENCY) -> float:
+    """Wall-clock seconds for a ring allreduce of ``payload_bytes``."""
+    if link_bandwidth <= 0:
+        raise ValueError("link bandwidth must be positive")
+    if workers < 1:
+        raise ValueError("need at least one worker")
+    if workers == 1:
+        return 0.0
+    wire = ring_allreduce_wire_bytes(payload_bytes, workers)
+    # 2(n-1) pipeline steps, each paying the hop latency
+    return wire / link_bandwidth + 2 * (workers - 1) * hop_latency
+
+
+def point_to_point_time(payload_bytes: float, link_bandwidth: float, *,
+                        hop_latency: float = DEFAULT_HOP_LATENCY) -> float:
+    """One activation transfer between pipeline-adjacent accelerators."""
+    if link_bandwidth <= 0:
+        raise ValueError("link bandwidth must be positive")
+    return payload_bytes / link_bandwidth + hop_latency

@@ -1,0 +1,64 @@
+"""Roofline performance model (Williams et al.; paper §5.2.2).
+
+Training-step time is bounded by whichever resource saturates first::
+
+    rt(xc, xa) = max( ct / (0.80·xc),  at / (0.70·xa) )
+
+with ``ct`` the step's algorithmic FLOPs and ``at`` its algorithmic
+bytes.  The same model yields achieved-FLOP utilization and the
+memory-/compute-bound classification used throughout §5–6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .accelerator import AcceleratorConfig
+
+__all__ = ["RooflineResult", "roofline_time", "roofline_throughput"]
+
+
+@dataclass
+class RooflineResult:
+    """Roofline evaluation of one training step on one accelerator."""
+
+    step_time: float          # seconds
+    compute_time: float       # seconds if purely compute-bound
+    memory_time: float        # seconds if purely memory-bound
+    intensity: float          # FLOP/B of the step
+    achieved_flops: float     # FLOP/s
+    #: achieved / *peak* FLOPs — the paper's "algorithmic FLOP
+    #: utilization" (best case 80%)
+    flop_utilization: float
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.memory_time > self.compute_time
+
+
+def roofline_time(step_flops: float, step_bytes: float,
+                  accel: AcceleratorConfig) -> RooflineResult:
+    """Best-case step time under the Roofline bound."""
+    if step_flops < 0 or step_bytes < 0:
+        raise ValueError("negative step requirements")
+    compute_time = step_flops / accel.achievable_flops
+    memory_time = step_bytes / accel.achievable_bandwidth
+    step_time = max(compute_time, memory_time)
+    achieved = step_flops / step_time if step_time > 0 else 0.0
+    return RooflineResult(
+        step_time=step_time,
+        compute_time=compute_time,
+        memory_time=memory_time,
+        intensity=step_flops / step_bytes if step_bytes else float("inf"),
+        achieved_flops=achieved,
+        flop_utilization=achieved / accel.peak_flops,
+    )
+
+
+def roofline_throughput(intensity: float,
+                        accel: AcceleratorConfig) -> float:
+    """Attainable FLOP/s at a given operational intensity (FLOP/B)."""
+    if intensity < 0:
+        raise ValueError("negative operational intensity")
+    return min(accel.achievable_flops,
+               intensity * accel.achievable_bandwidth)

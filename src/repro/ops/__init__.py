@@ -1,0 +1,76 @@
+"""Op library: every primitive the paper's five model families need.
+
+All ops carry algorithmic FLOP and byte accounting (§2.1 definitions),
+a gradient construction rule (so full training-step graphs can be
+assembled), and a numpy kernel (so the runtime profiler can
+cross-validate the symbolic counts on concrete shapes).
+"""
+
+from .conv import Conv2DFilterGradOp, Conv2DInputGradOp, Conv2DOp, conv2d
+from .embedding import EmbeddingGradOp, EmbeddingLookupOp, embedding_lookup
+from .matmul import BatchMatMulOp, MatMulOp, batch_matmul, matmul
+from .norm import BatchNormGradOp, BatchNormOp, batch_norm
+from .optimizer import SGDUpdateOp, sgd_update
+from .pointwise import (
+    BinaryOp,
+    UnaryGradOp,
+    UnaryOp,
+    add,
+    multiply,
+    one_minus,
+    relu,
+    scale,
+    sigmoid,
+    subtract,
+    tanh,
+)
+from .pool import (
+    AvgPool1DGradOp,
+    AvgPool1DOp,
+    MaxPool2DGradOp,
+    MaxPool2DOp,
+    avg_pool1d,
+    max_pool2d,
+)
+from .reduce import (
+    BroadcastOp,
+    ReduceOp,
+    reduce_mean,
+    reduce_sum,
+    reduce_sum_to_shape,
+)
+from .shape import (
+    ConcatOp,
+    ReshapeOp,
+    SplitOp,
+    TransposeOp,
+    concat,
+    reshape,
+    split,
+    transpose,
+)
+from .softmax import (
+    SoftmaxCrossEntropyGradOp,
+    SoftmaxCrossEntropyOp,
+    SoftmaxGradOp,
+    SoftmaxOp,
+    softmax,
+    softmax_cross_entropy,
+)
+
+__all__ = [
+    # builders
+    "matmul", "batch_matmul", "conv2d", "embedding_lookup", "batch_norm",
+    "sgd_update", "add", "subtract", "multiply", "sigmoid", "tanh", "relu",
+    "scale", "one_minus", "max_pool2d", "avg_pool1d", "reduce_sum",
+    "reduce_mean", "reduce_sum_to_shape", "concat", "split", "reshape",
+    "transpose", "softmax", "softmax_cross_entropy",
+    # op classes
+    "MatMulOp", "BatchMatMulOp", "Conv2DOp", "Conv2DInputGradOp",
+    "Conv2DFilterGradOp", "EmbeddingLookupOp", "EmbeddingGradOp",
+    "BatchNormOp", "BatchNormGradOp", "SGDUpdateOp", "UnaryOp",
+    "UnaryGradOp", "BinaryOp", "MaxPool2DOp", "MaxPool2DGradOp",
+    "AvgPool1DOp", "AvgPool1DGradOp", "ReduceOp", "BroadcastOp",
+    "ConcatOp", "SplitOp", "ReshapeOp", "TransposeOp", "SoftmaxOp",
+    "SoftmaxGradOp", "SoftmaxCrossEntropyOp", "SoftmaxCrossEntropyGradOp",
+]

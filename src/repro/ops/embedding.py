@@ -1,0 +1,101 @@
+"""Embedding lookup (gather) and its scatter gradient.
+
+The paper notes (§2.3) the embedding layer is a table lookup with *no*
+algorithmic FLOPs, yet it accounts for a large share of weight memory
+footprint in word LMs and NMT — behaviour this op reproduces: zero
+FLOPs, bytes proportional to the gathered rows (not the whole table),
+and a table-sized parameter/gradient footprint.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..graph import Graph, Op, Tensor, TensorKind
+from ..symbolic import Add, Const, Expr
+
+__all__ = ["EmbeddingLookupOp", "EmbeddingGradOp", "embedding_lookup"]
+
+
+class EmbeddingLookupOp(Op):
+    """out[..., h] = table[ids[...], :] — a gather along the vocab axis."""
+
+    kind = "embedding"
+
+    def __init__(self, name: str, table: Tensor, ids: Tensor, out: Tensor):
+        super().__init__(name, [table, ids], [out])
+
+    def flops(self) -> Expr:
+        return Const(0)
+
+    def bytes_accessed(self) -> Expr:
+        # read ids + read the gathered rows + write the output rows;
+        # the full table is NOT streamed (this is the whole point)
+        ids, out = self.inputs[1], self.outputs[0]
+        return Add.of(ids.size_bytes(), out.size_bytes(), out.size_bytes())
+
+    def backward(self, graph: Graph, grad_outputs):
+        (dy,) = grad_outputs
+        table, ids = self.inputs
+        if not table.requires_grad:
+            return (None, None)
+        grad = graph.tensor(f"grad/{self.name}/dtable", table.shape,
+                            dtype_bytes=table.dtype_bytes,
+                            kind=TensorKind.GRADIENT)
+        graph.add_op(EmbeddingGradOp(graph.unique_name(f"grad/{self.name}"),
+                                     ids, dy, grad))
+        return (grad, None)
+
+    def execute(self, inputs: Sequence[np.ndarray], output_shapes=()):
+        table, ids = inputs
+        return (table[ids.astype(np.int64)],)
+
+    def validate(self) -> None:
+        super().validate()
+        table, ids, out = self.inputs[0], self.inputs[1], self.outputs[0]
+        if table.rank != 2:
+            raise ValueError("embedding table must be rank 2 [vocab, dim]")
+        if tuple(out.shape) != tuple(ids.shape) + (table.shape[1],):
+            raise ValueError("embedding output shape mismatch")
+
+
+class EmbeddingGradOp(Op):
+    """dtable = scatter-add of dy rows at ids (dense gradient tensor)."""
+
+    kind = "embedding_grad"
+
+    def __init__(self, name: str, ids: Tensor, dy: Tensor, grad: Tensor):
+        super().__init__(name, [ids, dy], [grad])
+
+    def flops(self) -> Expr:
+        # one accumulate per incoming gradient element
+        return self.inputs[1].num_elements()
+
+    def bytes_accessed(self) -> Expr:
+        # read ids + dy, write the dense gradient table
+        ids, dy = self.inputs
+        return Add.of(ids.size_bytes(), dy.size_bytes(),
+                      self.outputs[0].size_bytes())
+
+    def execute(self, inputs: Sequence[np.ndarray], output_shapes=()):
+        ids, dy = inputs
+        vocab = output_shapes[0][0]
+        dim = dy.shape[-1]
+        grad = np.zeros((vocab, dim), dtype=dy.dtype)
+        np.add.at(grad, ids.astype(np.int64).reshape(-1),
+                  dy.reshape(-1, dim))
+        return (grad,)
+
+
+def embedding_lookup(graph: Graph, table: Tensor, ids: Tensor, *,
+                     name: Optional[str] = None) -> Tensor:
+    """Gather rows of ``table`` at ``ids``; returns [ids..., dim]."""
+    prefix = name or f"embed/{table.name}"
+    out = graph.tensor(prefix + ":out",
+                       tuple(ids.shape) + (table.shape[1],),
+                       dtype_bytes=table.dtype_bytes)
+    graph.add_op(EmbeddingLookupOp(graph.unique_name(prefix),
+                                   table, ids, out))
+    return out

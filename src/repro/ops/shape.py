@@ -1,0 +1,231 @@
+"""Shape-manipulation ops: concat, split, reshape, transpose.
+
+These perform no algorithmic FLOPs but do move memory (bytes accessed =
+inputs read + outputs written), which matters for operational-intensity
+accounting of recurrent cells that concatenate/split gate blocks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph import Graph, Op, Tensor
+from ..symbolic import Add, Const, Expr
+
+__all__ = [
+    "ConcatOp",
+    "SplitOp",
+    "ReshapeOp",
+    "TransposeOp",
+    "concat",
+    "split",
+    "reshape",
+    "transpose",
+]
+
+
+class ConcatOp(Op):
+    """Concatenate tensors along ``axis``."""
+
+    kind = "concat"
+
+    def __init__(self, name: str, xs: Sequence[Tensor], out: Tensor,
+                 axis: int):
+        super().__init__(name, xs, [out])
+        self.axis = axis
+
+    def backward(self, graph: Graph, grad_outputs):
+        (dy,) = grad_outputs
+        part_dims = [x.shape[self.axis] for x in self.inputs]
+        grads = split(graph, dy, part_dims, self.axis,
+                      name=f"grad/{self.name}")
+        return tuple(
+            g if x.requires_grad else None
+            for x, g in zip(self.inputs, grads)
+        )
+
+    def execute(self, inputs: Sequence[np.ndarray], output_shapes=()):
+        return (np.concatenate(inputs, axis=self.axis),)
+
+    def validate(self) -> None:
+        super().validate()
+        out = self.outputs[0]
+        total = Add.of(*(x.shape[self.axis] for x in self.inputs))
+        if out.shape[self.axis] != total:
+            raise ValueError("concat axis dims do not sum to output dim")
+        for x in self.inputs:
+            for i, (dx, do) in enumerate(zip(x.shape, out.shape)):
+                if i != self.axis and dx != do:
+                    raise ValueError("concat non-axis dims must match")
+
+
+class SplitOp(Op):
+    """Split a tensor into parts along ``axis``."""
+
+    kind = "split"
+
+    def __init__(self, name: str, x: Tensor, outs: Sequence[Tensor],
+                 axis: int):
+        super().__init__(name, [x], outs)
+        self.axis = axis
+
+    def backward(self, graph: Graph, grad_outputs):
+        x = self.inputs[0]
+        if not x.requires_grad:
+            return (None,)
+        # missing output grads are zero blocks; materialize them
+        parts: List[Tensor] = []
+        for out, g in zip(self.outputs, grad_outputs):
+            if g is None:
+                zero = graph.tensor(f"grad/{self.name}/zero", out.shape,
+                                    dtype_bytes=out.dtype_bytes)
+                graph.add_op(ZeroOp(
+                    graph.unique_name(f"grad/{self.name}/zero_op"), zero
+                ))
+                parts.append(zero)
+            else:
+                parts.append(g)
+        return (concat(graph, parts, self.axis, name=f"grad/{self.name}"),)
+
+    def execute(self, inputs: Sequence[np.ndarray], output_shapes=()):
+        x = inputs[0]
+        sizes = [shape[self.axis] for shape in output_shapes]
+        offsets = np.cumsum(sizes)[:-1]
+        return tuple(np.split(x, offsets, axis=self.axis))
+
+    def validate(self) -> None:
+        super().validate()
+        x = self.inputs[0]
+        total = Add.of(*(o.shape[self.axis] for o in self.outputs))
+        if x.shape[self.axis] != total:
+            raise ValueError("split parts do not sum to input dim")
+
+
+class ZeroOp(Op):
+    """Materialize an all-zeros tensor (gradient filler)."""
+
+    kind = "zeros"
+
+    def __init__(self, name: str, out: Tensor):
+        super().__init__(name, [], [out])
+
+    def bytes_accessed(self) -> Expr:
+        return self.outputs[0].size_bytes()
+
+    def execute(self, inputs, output_shapes=()):
+        return (np.zeros(output_shapes[0], dtype=np.float32),)
+
+
+class ReshapeOp(Op):
+    """View a tensor with a new shape of identical element count."""
+
+    kind = "reshape"
+
+    def __init__(self, name: str, x: Tensor, out: Tensor):
+        super().__init__(name, [x], [out])
+
+    def bytes_accessed(self) -> Expr:
+        # a metadata-only view: no data movement to first order
+        return Const(0)
+
+    def backward(self, graph: Graph, grad_outputs):
+        (dy,) = grad_outputs
+        if not self.inputs[0].requires_grad:
+            return (None,)
+        return (reshape(graph, dy, self.inputs[0].shape,
+                        name=f"grad/{self.name}"),)
+
+    def execute(self, inputs: Sequence[np.ndarray], output_shapes=()):
+        return (inputs[0].reshape(output_shapes[0]),)
+
+    def validate(self) -> None:
+        super().validate()
+        if self.inputs[0].num_elements() != self.outputs[0].num_elements():
+            raise ValueError("reshape must preserve element count")
+
+
+class TransposeOp(Op):
+    """Permute tensor axes (a real data movement, unlike reshape)."""
+
+    kind = "transpose"
+
+    def __init__(self, name: str, x: Tensor, out: Tensor,
+                 perm: Tuple[int, ...]):
+        super().__init__(name, [x], [out])
+        self.perm = tuple(perm)
+
+    def backward(self, graph: Graph, grad_outputs):
+        (dy,) = grad_outputs
+        if not self.inputs[0].requires_grad:
+            return (None,)
+        inverse = tuple(np.argsort(self.perm))
+        return (transpose(graph, dy, inverse, name=f"grad/{self.name}"),)
+
+    def execute(self, inputs: Sequence[np.ndarray], output_shapes=()):
+        return (np.transpose(inputs[0], self.perm),)
+
+    def validate(self) -> None:
+        super().validate()
+        x, out = self.inputs[0], self.outputs[0]
+        if sorted(self.perm) != list(range(x.rank)):
+            raise ValueError(f"invalid permutation {self.perm}")
+        if tuple(out.shape) != tuple(x.shape[i] for i in self.perm):
+            raise ValueError("transpose output shape mismatch")
+
+
+# -- builders ----------------------------------------------------------------
+
+def concat(graph: Graph, xs: Sequence[Tensor], axis: int, *,
+           name: Optional[str] = None) -> Tensor:
+    """Concatenate along ``axis``; returns the combined tensor."""
+    xs = list(xs)
+    if not xs:
+        raise ValueError("concat needs at least one tensor")
+    if len(xs) == 1:
+        return xs[0]
+    axis = axis % xs[0].rank
+    shape = list(xs[0].shape)
+    shape[axis] = Add.of(*(x.shape[axis] for x in xs))
+    prefix = name or f"concat/{xs[0].name}"
+    out = graph.tensor(prefix + ":out", shape, dtype_bytes=xs[0].dtype_bytes)
+    graph.add_op(ConcatOp(graph.unique_name(prefix), xs, out, axis))
+    return out
+
+
+def split(graph: Graph, x: Tensor, part_dims: Sequence, axis: int, *,
+          name: Optional[str] = None) -> List[Tensor]:
+    """Split ``x`` along ``axis`` into parts of the given dims."""
+    axis = axis % x.rank
+    prefix = name or f"split/{x.name}"
+    outs = []
+    for i, dim in enumerate(part_dims):
+        shape = list(x.shape)
+        shape[axis] = dim
+        outs.append(graph.tensor(f"{prefix}:out{i}", shape,
+                                 dtype_bytes=x.dtype_bytes))
+    graph.add_op(SplitOp(graph.unique_name(prefix), x, outs, axis))
+    return outs
+
+
+def reshape(graph: Graph, x: Tensor, shape, *,
+            name: Optional[str] = None) -> Tensor:
+    """Reinterpret ``x`` with a new shape (same element count)."""
+    prefix = name or f"reshape/{x.name}"
+    out = graph.tensor(prefix + ":out", tuple(shape),
+                       dtype_bytes=x.dtype_bytes)
+    graph.add_op(ReshapeOp(graph.unique_name(prefix), x, out))
+    return out
+
+
+def transpose(graph: Graph, x: Tensor, perm: Sequence[int], *,
+              name: Optional[str] = None) -> Tensor:
+    """Permute axes of ``x``."""
+    perm = tuple(perm)
+    prefix = name or f"transpose/{x.name}"
+    out = graph.tensor(prefix + ":out",
+                       tuple(x.shape[i] for i in perm),
+                       dtype_bytes=x.dtype_bytes)
+    graph.add_op(TransposeOp(graph.unique_name(prefix), x, out, perm))
+    return out

@@ -1,0 +1,175 @@
+"""Softmax and fused softmax-cross-entropy loss.
+
+The FC output layer + softmax over a large vocabulary dominates word-LM
+activation memory (§2.3); the fused loss keeps the probability tensor
+live until backward, reproducing that footprint pressure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph import Graph, Op, Tensor
+from ..symbolic import Add, Const, Expr, Mul
+
+__all__ = [
+    "SoftmaxOp",
+    "SoftmaxGradOp",
+    "SoftmaxCrossEntropyOp",
+    "SoftmaxCrossEntropyGradOp",
+    "softmax",
+    "softmax_cross_entropy",
+]
+
+
+class SoftmaxOp(Op):
+    """Softmax over the last axis (max-subtracted for stability)."""
+
+    kind = "softmax"
+
+    def __init__(self, name: str, x: Tensor, out: Tensor):
+        super().__init__(name, [x], [out])
+
+    def flops(self) -> Expr:
+        # max-subtract + exp + sum + divide ≈ 4 per element
+        return Mul.of(Const(4), self.outputs[0].num_elements())
+
+    def backward(self, graph: Graph, grad_outputs):
+        (dy,) = grad_outputs
+        x = self.inputs[0]
+        if not x.requires_grad:
+            return (None,)
+        out = graph.tensor(f"grad/{self.name}/dx", x.shape,
+                           dtype_bytes=x.dtype_bytes)
+        graph.add_op(SoftmaxGradOp(graph.unique_name(f"grad/{self.name}"),
+                                   self.outputs[0], dy, out))
+        return (out,)
+
+    def execute(self, inputs: Sequence[np.ndarray], output_shapes=()):
+        x = inputs[0]
+        shifted = x - x.max(axis=-1, keepdims=True)
+        e = np.exp(shifted)
+        return (e / e.sum(axis=-1, keepdims=True),)
+
+    def validate(self) -> None:
+        super().validate()
+        if tuple(self.inputs[0].shape) != tuple(self.outputs[0].shape):
+            raise ValueError("softmax must preserve shape")
+
+
+class SoftmaxGradOp(Op):
+    """dx = y ⊙ (dy − Σ(dy ⊙ y)) along the softmax axis."""
+
+    kind = "softmax_grad"
+
+    def __init__(self, name: str, y: Tensor, dy: Tensor, out: Tensor):
+        super().__init__(name, [y, dy], [out])
+
+    def flops(self) -> Expr:
+        return Mul.of(Const(4), self.outputs[0].num_elements())
+
+    def execute(self, inputs: Sequence[np.ndarray], output_shapes=()):
+        y, dy = inputs
+        inner = (dy * y).sum(axis=-1, keepdims=True)
+        return (y * (dy - inner),)
+
+
+class SoftmaxCrossEntropyOp(Op):
+    """Fused softmax + cross-entropy against integer labels.
+
+    Outputs per-sample loss [batch...] *and* the probability tensor
+    (kept live for the backward pass, as frameworks do).
+    """
+
+    kind = "softmax_ce"
+
+    def __init__(self, name: str, logits: Tensor, labels: Tensor,
+                 loss: Tensor, probs: Tensor):
+        super().__init__(name, [logits, labels], [loss, probs])
+
+    def flops(self) -> Expr:
+        # softmax (4/elt) + log-pick + negate ≈ 4·elements + 2·batch
+        logits = self.inputs[0]
+        return Add.of(
+            Mul.of(Const(4), logits.num_elements()),
+            Mul.of(Const(2), self.outputs[0].num_elements()),
+        )
+
+    def backward(self, graph: Graph, grad_outputs):
+        dloss, _dprobs = grad_outputs
+        logits, labels = self.inputs
+        if not logits.requires_grad:
+            return (None, None)
+        if dloss is None:
+            raise ValueError(
+                f"{self.name}: loss output has no incoming gradient"
+            )
+        probs = self.outputs[1]
+        out = graph.tensor(f"grad/{self.name}/dlogits", logits.shape,
+                           dtype_bytes=logits.dtype_bytes)
+        graph.add_op(SoftmaxCrossEntropyGradOp(
+            graph.unique_name(f"grad/{self.name}"),
+            probs, labels, dloss, out,
+        ))
+        return (out, None)
+
+    def execute(self, inputs: Sequence[np.ndarray], output_shapes=()):
+        logits, labels = inputs
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        e = np.exp(shifted)
+        probs = e / e.sum(axis=-1, keepdims=True)
+        idx = labels.astype(np.int64)
+        picked = np.take_along_axis(probs, idx[..., None], axis=-1)
+        loss = -np.log(np.maximum(picked[..., 0], 1e-30))
+        return (loss.astype(logits.dtype), probs.astype(logits.dtype))
+
+    def validate(self) -> None:
+        super().validate()
+        logits, labels = self.inputs
+        if tuple(labels.shape) != tuple(logits.shape[:-1]):
+            raise ValueError("labels shape must equal logits batch dims")
+
+
+class SoftmaxCrossEntropyGradOp(Op):
+    """dlogits = (probs − onehot(labels)) ⊙ dloss."""
+
+    kind = "softmax_ce_grad"
+
+    def __init__(self, name: str, probs: Tensor, labels: Tensor,
+                 dloss: Tensor, out: Tensor):
+        super().__init__(name, [probs, labels, dloss], [out])
+
+    def flops(self) -> Expr:
+        return Mul.of(Const(2), self.outputs[0].num_elements())
+
+    def execute(self, inputs: Sequence[np.ndarray], output_shapes=()):
+        probs, labels, dloss = inputs
+        grad = probs.copy()
+        idx = labels.astype(np.int64)
+        onehot_picked = np.take_along_axis(grad, idx[..., None], axis=-1)
+        np.put_along_axis(grad, idx[..., None], onehot_picked - 1.0, axis=-1)
+        return (grad * dloss[..., None],)
+
+
+def softmax(graph: Graph, x: Tensor, *, name: Optional[str] = None) -> Tensor:
+    """Softmax over the last axis."""
+    prefix = name or f"softmax/{x.name}"
+    out = graph.tensor(prefix + ":out", x.shape, dtype_bytes=x.dtype_bytes)
+    graph.add_op(SoftmaxOp(graph.unique_name(prefix), x, out))
+    return out
+
+
+def softmax_cross_entropy(graph: Graph, logits: Tensor, labels: Tensor, *,
+                          name: Optional[str] = None
+                          ) -> Tuple[Tensor, Tensor]:
+    """Fused loss; returns (per-sample loss, probabilities)."""
+    prefix = name or f"xent/{logits.name}"
+    loss = graph.tensor(prefix + ":loss", logits.shape[:-1],
+                        dtype_bytes=logits.dtype_bytes)
+    probs = graph.tensor(prefix + ":probs", logits.shape,
+                         dtype_bytes=logits.dtype_bytes)
+    graph.add_op(SoftmaxCrossEntropyOp(graph.unique_name(prefix),
+                                       logits, labels, loss, probs))
+    return loss, probs

@@ -1,0 +1,52 @@
+"""Parallelism planner: subbatch choice, data/model parallelism, case study.
+
+Implements the paper's §5.2.1 subbatch-selection procedure (Fig. 11),
+the §6.2 data-parallel scaling curve (Fig. 12), layer-wise model
+parallelism with embedding sharding, and the end-to-end Table 5
+optimization ladder.
+"""
+
+from .auto import AutoPlanResult, ParallelPlan, plan_auto
+from .case_study import (
+    CASE_STUDY_PROJECTION,
+    CASE_STUDY_VOCAB,
+    CaseStudyResult,
+    CaseStudyRow,
+    run_case_study,
+)
+from .data_parallel import DataParallelPoint, scale_data_parallel
+from .model_parallel import (
+    LayerParallelPlan,
+    StageCosts,
+    plan_layer_parallel,
+    shard_embedding,
+    split_stages,
+)
+from .subbatch import (
+    SubbatchChoice,
+    SubbatchCurvePoint,
+    choose_subbatch,
+    subbatch_curve,
+)
+
+__all__ = [
+    "plan_auto",
+    "ParallelPlan",
+    "AutoPlanResult",
+    "choose_subbatch",
+    "subbatch_curve",
+    "SubbatchChoice",
+    "SubbatchCurvePoint",
+    "scale_data_parallel",
+    "DataParallelPoint",
+    "split_stages",
+    "plan_layer_parallel",
+    "shard_embedding",
+    "StageCosts",
+    "LayerParallelPlan",
+    "run_case_study",
+    "CaseStudyResult",
+    "CaseStudyRow",
+    "CASE_STUDY_VOCAB",
+    "CASE_STUDY_PROJECTION",
+]

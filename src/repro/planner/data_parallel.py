@@ -1,0 +1,90 @@
+"""Data-parallel scaling model (paper §6.2.1, Figure 12).
+
+Synchronous SGD with a ring allreduce: every worker computes its
+subbatch's gradients, then all workers reduce the full gradient
+(4 bytes/parameter at fp32).  Per-step time is
+
+    t(n) = t_local + t_allreduce(4·p, n)
+
+and epoch time divides the dataset across ``n·subbatch`` samples per
+step.  Utilization = useful FLOPs / (n · peak FLOPs · time) — the
+declining curve of Figure 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..hardware.accelerator import AcceleratorConfig
+from ..hardware.interconnect import ring_allreduce_time
+
+__all__ = ["DataParallelPoint", "scale_data_parallel"]
+
+_SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass
+class DataParallelPoint:
+    """One worker count's projected training behaviour."""
+
+    workers: int
+    global_batch: float
+    step_time: float           # seconds, incl. allreduce
+    allreduce_time: float      # seconds per step
+    epoch_days: float
+    flop_utilization: float    # achieved / (n · peak)
+    #: per-worker training-step memory footprint, bytes (weights are
+    #: replicated; activations are per-subbatch, so unchanged)
+    worker_footprint_bytes: float
+
+
+def scale_data_parallel(
+    *,
+    local_step_time: float,
+    local_step_flops: float,
+    params: float,
+    subbatch: float,
+    samples_per_epoch: float,
+    samples_per_step_per_worker: float,
+    accel: AcceleratorConfig,
+    workers: Sequence[int],
+    footprint_bytes: float = 0.0,
+    grad_dtype_bytes: int = 4,
+    compression_ratio: float = 1.0,
+) -> List[DataParallelPoint]:
+    """Project epoch time / utilization over data-parallel worker counts.
+
+    ``samples_per_step_per_worker`` is in epoch-sample units (tokens for
+    LMs, utterances for speech, images for image classification).
+
+    ``compression_ratio`` models gradient compression (QSGD, TernGrad,
+    Deep Gradient Compression — the paper's refs [5, 21, 37]): the
+    allreduce payload shrinks by this factor (e.g. 16 for 2-bit
+    quantization of fp32 gradients); compute time is unchanged.
+    """
+    if compression_ratio < 1.0:
+        raise ValueError("compression_ratio must be >= 1")
+    out = []
+    grad_bytes = grad_dtype_bytes * params / compression_ratio
+    for n in workers:
+        if n < 1:
+            raise ValueError("worker count must be >= 1")
+        comm = ring_allreduce_time(grad_bytes, n,
+                                   accel.interconnect_bandwidth)
+        step = local_step_time + comm
+        steps_per_epoch = samples_per_epoch / (
+            samples_per_step_per_worker * n
+        )
+        epoch_days = steps_per_epoch * step / _SECONDS_PER_DAY
+        achieved = local_step_flops / step  # per worker
+        out.append(DataParallelPoint(
+            workers=n,
+            global_batch=subbatch * n,
+            step_time=step,
+            allreduce_time=comm,
+            epoch_days=epoch_days,
+            flop_utilization=achieved / accel.peak_flops,
+            worker_footprint_bytes=footprint_bytes,
+        ))
+    return out

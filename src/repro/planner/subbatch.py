@@ -1,0 +1,128 @@
+"""Subbatch-size selection (paper §5.2.1, Figure 11).
+
+Three candidate operating points on the subbatch axis:
+
+* **saturation** — graph-level operational intensity nears its
+  asymptote (huge footprint, marginal time gains);
+* **ridge match** — intensity equals the accelerator's effective ridge
+  point (still leaves ~40% throughput on the table: many ops remain
+  memory-bound);
+* **min per-sample time** — the smallest subbatch whose training-step
+  time per sample is within tolerance of the asymptotic best.  This is
+  the paper's preferred point; for recurrent nets it lands ≈1.5× above
+  the ridge-match subbatch.
+
+All evaluations use the first-order forms ct = γ·b·p and
+at = λ·p + µ·b·√p with the Roofline bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from ..analysis.firstorder import FirstOrderModel
+from ..hardware.accelerator import AcceleratorConfig
+from ..hardware.roofline import roofline_time
+from ..symbolic import bisect_increasing
+
+__all__ = ["SubbatchCurvePoint", "SubbatchChoice", "subbatch_curve",
+           "choose_subbatch"]
+
+#: subbatch sizes are chosen on a multiple-of-32 grid (warp-friendly)
+_GRID = 32
+
+
+@dataclass
+class SubbatchCurvePoint:
+    """One subbatch size's intensity and per-sample time (Fig. 11)."""
+
+    subbatch: float
+    intensity: float
+    step_time: float
+    time_per_sample: float
+    footprint_bytes: float
+
+
+@dataclass
+class SubbatchChoice:
+    """The three §5.2.1 points of interest plus the final pick."""
+
+    ridge_match: float          # b where intensity == effective ridge
+    saturation: float           # b where intensity is ~95% of asymptote
+    min_latency: float          # smallest b near asymptotic best t/sample
+    chosen: int                 # min_latency snapped to the grid
+    asymptotic_time_per_sample: float
+
+
+def subbatch_curve(model: FirstOrderModel, params: float,
+                   accel: AcceleratorConfig,
+                   subbatches: List[float]) -> List[SubbatchCurvePoint]:
+    """Evaluate the Figure 11 curves over the given subbatch sizes."""
+    points = []
+    for b in subbatches:
+        ct = model.step_flops(params, b)
+        at = model.step_bytes(params, b)
+        rt = roofline_time(ct, at, accel)
+        footprint = (model.footprint_bytes(params, b)
+                     if model.delta is not None else 0.0)
+        points.append(SubbatchCurvePoint(
+            subbatch=b,
+            intensity=model.intensity(params, b),
+            step_time=rt.step_time,
+            time_per_sample=rt.step_time / b,
+            footprint_bytes=footprint,
+        ))
+    return points
+
+
+def _time_per_sample(model: FirstOrderModel, params: float, b: float,
+                     accel: AcceleratorConfig) -> float:
+    rt = roofline_time(model.step_flops(params, b),
+                       model.step_bytes(params, b), accel)
+    return rt.step_time / b
+
+
+def choose_subbatch(model: FirstOrderModel, params: float,
+                    accel: AcceleratorConfig, *,
+                    tolerance: float = 0.05,
+                    max_subbatch: float = 2**18) -> SubbatchChoice:
+    """Pick the training subbatch per §5.2.1.
+
+    The asymptotic per-sample time is the compute-bound limit
+    ``max(γ·p/(0.8·xc), µ·√p/(0.7·xa))``; we take the smallest grid
+    subbatch within ``tolerance`` of it.
+    """
+    import numpy as np
+
+    # intensity is increasing in b; find the ridge crossing
+    ridge = bisect_increasing(
+        lambda b: model.intensity(params, b),
+        accel.effective_ridge_point, 1.0, max_subbatch,
+    )
+
+    asymptote_intensity = model.intensity(params, max_subbatch)
+    saturation = bisect_increasing(
+        lambda b: model.intensity(params, b),
+        0.95 * asymptote_intensity, 1.0, max_subbatch,
+    )
+
+    limit = max(
+        model.gamma * params / accel.achievable_flops,
+        model.mu * np.sqrt(params) / accel.achievable_bandwidth,
+    )
+    # per-sample time decreases monotonically in b; bisect on -time
+    min_latency = bisect_increasing(
+        lambda b: -_time_per_sample(model, params, b, accel),
+        -(1.0 + tolerance) * limit, 1.0, max_subbatch,
+    )
+
+    chosen = max(_GRID, int(math.ceil(min_latency / _GRID)) * _GRID)
+    return SubbatchChoice(
+        ridge_match=ridge,
+        saturation=saturation,
+        min_latency=min_latency,
+        chosen=chosen,
+        asymptotic_time_per_sample=limit,
+    )

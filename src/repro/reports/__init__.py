@@ -1,0 +1,57 @@
+"""Report generators: every table and figure of the paper's evaluation.
+
+Each generator returns a structured :class:`~repro.reports.common.Table`
+or :class:`~repro.reports.common.Figure` with ``render()`` (terminal)
+and ``to_csv()`` (external plotting) methods.  The benchmark harness
+under ``benchmarks/`` prints one report per paper exhibit.
+"""
+
+from .ablations import (
+    ablation_cache_size,
+    auto_plan_frontier,
+    ablation_compression,
+    ablation_fusion,
+    ablation_interconnect,
+    ablation_memory_capacity,
+    ablation_precision,
+    ablation_scheduler,
+)
+from .common import Figure, Series, Table, ascii_chart, si
+from .describe import describe_domain, describe_model
+from .figures import fig6, fig7, fig8, fig9, fig10, fig11, fig12
+from .tables import table1, table2, table3, table4, table5
+
+ALL_REPORTS = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "ablation_cache": ablation_cache_size,
+    "ablation_memory": ablation_memory_capacity,
+    "ablation_interconnect": ablation_interconnect,
+    "ablation_precision": ablation_precision,
+    "ablation_scheduler": ablation_scheduler,
+    "ablation_fusion": ablation_fusion,
+    "ablation_compression": ablation_compression,
+    "auto_plan": auto_plan_frontier,
+}
+
+__all__ = [
+    "Table", "Figure", "Series", "ascii_chart", "si",
+    "table1", "table2", "table3", "table4", "table5",
+    "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+    "ablation_cache_size", "ablation_memory_capacity",
+    "ablation_interconnect", "ablation_precision",
+    "ablation_scheduler", "ablation_fusion", "ablation_compression",
+    "auto_plan_frontier",
+    "describe_model", "describe_domain",
+    "ALL_REPORTS",
+]

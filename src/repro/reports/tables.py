@@ -1,0 +1,185 @@
+"""Generators for the paper's evaluation tables (Tables 1–5)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..analysis.sweep import sweep_domain
+from ..hardware.accelerator import AcceleratorConfig, V100_LIKE
+from ..hardware.roofline import roofline_time
+from ..models.registry import DOMAINS
+from ..planner.case_study import run_case_study
+from ..planner.subbatch import choose_subbatch
+from ..scaling.domains import SCALING_DOMAINS
+from ..scaling.project import project_all
+from .common import Table, si
+
+__all__ = ["table1", "table2", "table3", "table4", "table5",
+           "SECONDS_PER_DAY", "samples_per_step"]
+
+SECONDS_PER_DAY = 86_400.0
+
+#: epoch-sample units processed per training-step sample, per domain:
+#: token-based domains advance seq_len tokens per sample; speech
+#: advances one ~100-char utterance; image one image.
+_UNITS_PER_SAMPLE = {
+    "word_lm": 80,
+    "char_lm": 150,
+    "nmt": 25,
+    "speech": 100,
+    "image": 1,
+}
+
+
+def samples_per_step(key: str, subbatch: float) -> float:
+    """Epoch-sample units consumed by one training step."""
+    return _UNITS_PER_SAMPLE[key] * subbatch
+
+
+def table1() -> Table:
+    """Learning-curve constants and projected data/model scale."""
+    rows = []
+    for key, d in SCALING_DOMAINS.items():
+        p = project_all()[key]
+        rows.append([
+            d.display,
+            f"{d.desired_sota:g} {d.error_metric}",
+            f"{d.current_sota:g}",
+            si(d.current_samples, ""),
+            f"{d.current_gb:g}",
+            f"{d.learning_curve.alpha:g}",
+            f"{d.learning_curve.beta:g}",
+            f"{d.model_curve.sigma:g}",
+            f"{d.model_curve.beta:g}",
+            f"{p.data_scale:.0f}x",
+            f"{p.model_scale:.1f}x",
+        ])
+    return Table(
+        title="Table 1: Learning Curve and Model Size Scaling "
+              "Relationships for DL Domains",
+        headers=["Domain (model)", "Desired SOTA", "Current SOTA",
+                 "Samples", "GB", "alpha", "beta_g", "sigma", "beta_p",
+                 "Data scale", "Model scale"],
+        rows=rows,
+        notes=["paper: data 33-971x, model 6.6-456x; scales computed "
+               "from (desired/current)^(1/beta_g), anchored at the "
+               "current-SOTA observation"],
+    )
+
+
+def table2(*, include_footprint: bool = True) -> Table:
+    """Asymptotic application-level compute requirements."""
+    rows = []
+    for key in DOMAINS:
+        sweep = sweep_domain(key, include_footprint=include_footprint)
+        fo = sweep.symbolic
+        c1, c2 = fo.intensity_coefficients()
+        rows.append([
+            DOMAINS[key].display,
+            f"{fo.gamma:.0f} b",
+            f"{fo.lam:.0f} + {fo.mu:.0f} b/sqrt(p)",
+            f"b*sqrt(p)/({c1:.2f}*sqrt(p) + {c2:.0f} b)",
+            f"{fo.delta:.2f}" if fo.delta is not None else "--",
+        ])
+    return Table(
+        title="Table 2: Asymptotic Application-level Compute Requirements",
+        headers=["Domain (model)", "Alg. FLOPs/param",
+                 "Alg. bytes/param", "Alg. op intensity (FLOP/B)",
+                 "Min mem foot (B/param)"],
+        rows=rows,
+        notes=["paper word LM row: 481 b | 1755 + 30784 b/sqrt(p) | "
+               "b*sqrt(p)/(3.65*sqrt(p) + 64 b) | 11.94"],
+    )
+
+
+def table3(*, accel: AcceleratorConfig = V100_LIKE) -> Table:
+    """Training requirements projected to target accuracy."""
+    projections = project_all()
+    rows = []
+    for key in DOMAINS:
+        sweep = sweep_domain(key)
+        fo = sweep.symbolic
+        proj = projections[key]
+        params = proj.target_params
+        choice = choose_subbatch(fo, params, accel)
+        b = choice.chosen
+        ct = fo.step_flops(params, b)
+        at = fo.step_bytes(params, b)
+        rt = roofline_time(ct, at, accel)
+        footprint = fo.footprint_bytes(params, b)
+        steps = proj.target_samples / samples_per_step(key, b)
+        epoch_days = steps * rt.step_time / SECONDS_PER_DAY
+        rows.append([
+            DOMAINS[key].display,
+            si(proj.target_samples) + " " + proj.sample_unit,
+            si(params),
+            str(b),
+            f"{ct / 1e12:.0f}",
+            f"{at / 1e12:.1f}",
+            f"{footprint / 1e9:.0f}",
+            f"{rt.step_time:.1f}",
+            f"{epoch_days:.3g}",
+        ])
+    return Table(
+        title="Table 3: Application-level Training Requirements "
+              "Projected to Target Accuracy",
+        headers=["Domain (model)", "Data size", "Params", "Subbatch",
+                 "TFLOPs/step", "Mem TB/step", "Min foot (GB)",
+                 "Step (s)", "Epoch (days)"],
+        rows=rows,
+        notes=["paper word LM row: 77B words | 23.8B | 128 | 1444 | "
+               "41.5 | 272 | 115 | 31K",
+               "epoch = one pass over all samples with non-overlapping "
+               "windows (the paper's accounting is ~3x larger for LMs)"],
+    )
+
+
+def table4(*, accel: AcceleratorConfig = V100_LIKE) -> Table:
+    """Target accelerator configuration."""
+    rows = [
+        ["Compute throughput, 32-bit", f"{accel.peak_flops / 1e12:.2f} TFLOP/s"],
+        ["On-chip cache", f"{accel.cache_bytes / 2**20:.0f} MB"],
+        ["Memory bandwidth", f"{accel.peak_bandwidth / 1e9:.0f} GB/s"],
+        ["Memory capacity (off-chip)", f"{accel.memory_bytes / 1e9:.0f} GB"],
+        ["Inter-device bandwidth",
+         f"{accel.interconnect_bandwidth / 1e9:.0f} GB/s"],
+        ["Ridge point", f"{accel.ridge_point:.1f} FLOP/B"],
+        ["Effective ridge point",
+         f"{accel.effective_ridge_point:.1f} FLOP/B"],
+    ]
+    return Table(
+        title="Table 4: Target Accelerator Configuration",
+        headers=["Component", "Configuration"],
+        rows=rows,
+    )
+
+
+def table5(**kwargs) -> Table:
+    """Step-by-step word-LM parallelization to frontier accuracy."""
+    result = run_case_study(**kwargs)
+    rows = []
+    for row in result.rows:
+        mems = "{" + ", ".join(
+            f"{m:.0f}" for m in row.memory_per_accel_gb
+        ) + "}"
+        rows.append([
+            row.stage,
+            str(row.accelerators),
+            str(row.batch_size),
+            mems,
+            row.cache,
+            f"{row.days_per_epoch:.1f}",
+            f"{row.flop_utilization * 100:.1f}%",
+        ])
+    return Table(
+        title="Table 5: Step-by-Step Process of Training Word LM "
+              "to Target Accuracy",
+        headers=["Optimization stage", "Num accel", "Batch",
+                 "Mem/accel (GB)", "L2 cache", "Days/epoch",
+                 "Alg. FLOP util"],
+        rows=rows,
+        notes=[f"algorithmic optimization (projected LSTM + production "
+               f"vocab) speedup: {result.algorithmic_speedup:.1f}x "
+               "(paper: 11.7x)",
+               "paper ladder: 80% -> 46% -> 34%/38% -> 14.5% utilization"],
+    )

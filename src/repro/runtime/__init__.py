@@ -1,0 +1,25 @@
+"""Runtime: numpy execution, per-op profiling, allocator simulation.
+
+The paper measured real TensorFlow training steps (TFprof + the GPU
+allocator); this package provides the offline equivalents — execute the
+same graphs with numpy, collect per-op algorithmic profiles, and replay
+schedules through a BFC-style allocator model.
+"""
+
+from .allocator import AllocationReport, AllocatorConfig, simulate_allocator
+from .executor import ExecutionResult, bind_shape, execute_graph, make_feeds
+from .profiler import OpProfile, StepProfile, profile_execution, profile_graph
+
+__all__ = [
+    "execute_graph",
+    "make_feeds",
+    "bind_shape",
+    "ExecutionResult",
+    "profile_graph",
+    "profile_execution",
+    "OpProfile",
+    "StepProfile",
+    "simulate_allocator",
+    "AllocatorConfig",
+    "AllocationReport",
+]

@@ -1,0 +1,168 @@
+"""BFC-style allocator simulator (the TF memory-allocator substitute).
+
+Figure 10 of the paper compares TensorFlow's allocator-reported memory
+footprint with topological-traversal estimates, observing that the
+allocator (a) slightly exceeds the algorithmic minimum (alignment,
+binning), and (b) *flattens* once the model no longer fits in GPU
+memory, because TF silently swaps tensors to host RAM and stops
+counting them ("80% of 12GB").
+
+This simulator replays a training-step schedule against a best-fit-
+with-coalescing-inspired allocator: sizes round up to 256-byte-aligned
+bins, a device capacity can be imposed, and when an allocation would
+exceed capacity the least-recently-used live tensors are swapped out
+(their bytes counted separately).  The reported footprint is the
+device-resident high-water mark — exactly the quantity that flattens
+in the paper's figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..graph import Graph, Op, Tensor
+
+__all__ = ["AllocatorConfig", "AllocationReport", "simulate_allocator"]
+
+_ALIGNMENT = 256
+
+
+@dataclass
+class AllocatorConfig:
+    """Device memory model for the allocator replay."""
+
+    #: device capacity in bytes; None = unbounded (footprint measured)
+    capacity_bytes: Optional[int] = None
+    #: fraction of capacity usable before swapping begins (TF ~0.8)
+    usable_fraction: float = 0.8
+    #: bytes of allocation alignment (BFC: 256)
+    alignment: int = _ALIGNMENT
+
+    @property
+    def usable_bytes(self) -> Optional[int]:
+        if self.capacity_bytes is None:
+            return None
+        return int(self.capacity_bytes * self.usable_fraction)
+
+
+@dataclass
+class AllocationReport:
+    """Outcome of an allocator replay."""
+
+    #: device-resident high-water mark (what TF's allocator reports)
+    peak_resident_bytes: int = 0
+    #: true high-water including swapped-out tensors
+    peak_total_bytes: int = 0
+    #: bytes moved device→host by swapping
+    swapped_out_bytes: int = 0
+    #: number of swap events
+    swap_events: int = 0
+    #: allocation overhead vs exact sizes (alignment/binning), bytes
+    rounding_overhead_bytes: int = 0
+
+    @property
+    def did_swap(self) -> bool:
+        return self.swap_events > 0
+
+
+def _rounded(size: int, alignment: int) -> int:
+    if size <= 0:
+        return alignment
+    return ((size + alignment - 1) // alignment) * alignment
+
+
+def simulate_allocator(
+    graph: Graph,
+    order: Sequence[Op],
+    sizes: Mapping[Tensor, int],
+    config: Optional[AllocatorConfig] = None,
+) -> AllocationReport:
+    """Replay a schedule through the allocator model.
+
+    Persistent tensors (parameters) and graph inputs are allocated up
+    front and never swap (frameworks pin weights); activations are
+    allocated when produced, freed after their last consumer, and are
+    swap candidates in LRU order when capacity pressure occurs.
+    """
+    config = config or AllocatorConfig()
+    report = AllocationReport()
+
+    resident: Dict[Tensor, int] = {}
+    swapped: Dict[Tensor, int] = {}
+    lru: List[Tensor] = []  # least-recently-used first
+    pinned = 0
+    current_total = 0
+
+    def touch(t: Tensor) -> None:
+        if t in lru:
+            lru.remove(t)
+            lru.append(t)
+
+    def high_water() -> None:
+        nonlocal report
+        resident_bytes = pinned + sum(resident.values())
+        total = resident_bytes + sum(swapped.values())
+        report.peak_resident_bytes = max(report.peak_resident_bytes,
+                                         resident_bytes)
+        report.peak_total_bytes = max(report.peak_total_bytes, total)
+
+    limit = config.usable_bytes
+
+    def make_room(needed: int) -> None:
+        nonlocal report
+        if limit is None:
+            return
+        while pinned + sum(resident.values()) + needed > limit and lru:
+            victim = lru.pop(0)
+            size = resident.pop(victim)
+            swapped[victim] = size
+            report.swapped_out_bytes += size
+            report.swap_events += 1
+
+    # pin weights and inputs
+    for t in graph.tensors.values():
+        if t.is_persistent or t.producer is None:
+            size = _rounded(sizes[t], config.alignment)
+            report.rounding_overhead_bytes += size - sizes[t]
+            pinned += size
+    high_water()
+
+    remaining = {t: len(t.consumers) for t in graph.tensors.values()}
+
+    for op in order:
+        # allocate outputs
+        for out in op.outputs:
+            if out.is_persistent or out.producer is None:
+                continue
+            size = _rounded(sizes[out], config.alignment)
+            report.rounding_overhead_bytes += size - sizes[out]
+            make_room(size)
+            resident[out] = size
+            lru.append(out)
+        # inputs are touched (swapped ones would page back in; we only
+        # track the footprint consequence: they become resident again)
+        for t in op.inputs:
+            if t in swapped:
+                size = swapped.pop(t)
+                make_room(size)
+                resident[t] = size
+                lru.append(t)
+            else:
+                touch(t)
+        high_water()
+        # free dead activations
+        seen = set()
+        for t in op.inputs:
+            if t.is_persistent or t.producer is None or t in seen:
+                continue
+            seen.add(t)
+            remaining[t] -= sum(1 for c in t.consumers if c is op)
+            if remaining[t] == 0:
+                if t in resident:
+                    resident.pop(t)
+                    if t in lru:
+                        lru.remove(t)
+                swapped.pop(t, None)
+
+    return report

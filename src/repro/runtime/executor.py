@@ -1,0 +1,126 @@
+"""Numpy executor: run compute graphs on concrete shapes.
+
+This plays the role TensorFlow played in the paper: actually executing
+training-step graphs so their behaviour (outputs, gradients, per-op
+profiles) can be observed.  Symbolic dimensions are bound to small
+concrete values, every tensor is materialized as a numpy array, and
+ops run in topological order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from ..graph import Graph, Tensor, topological_order
+
+__all__ = ["bind_shape", "make_feeds", "execute_graph", "ExecutionResult"]
+
+
+def bind_shape(tensor: Tensor, bindings: Optional[Mapping] = None) -> tuple:
+    """Concrete integer shape of a tensor under symbol bindings."""
+    dims = []
+    for d in tensor.shape:
+        value = d.evalf(bindings)
+        dim = int(round(value))
+        if abs(dim - value) > 1e-6:
+            raise ValueError(
+                f"dimension {d} of {tensor.name} binds to non-integer {value}"
+            )
+        dims.append(dim)
+    return tuple(dims)
+
+
+def make_feeds(graph: Graph, bindings: Optional[Mapping] = None, *,
+               seed: int = 0) -> Dict[str, np.ndarray]:
+    """Synthesize random feeds for every graph input.
+
+    Float inputs get small gaussians; integer inputs (``int_bound``
+    set) get uniform ids below their bound.
+    """
+    rng = np.random.default_rng(seed)
+    feeds: Dict[str, np.ndarray] = {}
+    for t in graph.inputs():
+        shape = bind_shape(t, bindings)
+        if t.int_bound is not None:
+            bound = int(round(t.int_bound.evalf(bindings)))
+            feeds[t.name] = rng.integers(0, bound, size=shape).astype(np.int64)
+        else:
+            feeds[t.name] = rng.standard_normal(shape).astype(np.float32)
+    return feeds
+
+
+class ExecutionResult:
+    """Values of all tensors after a graph execution."""
+
+    def __init__(self, values: Dict[str, np.ndarray]):
+        self._values = values
+
+    def __getitem__(self, key) -> np.ndarray:
+        name = key.name if isinstance(key, Tensor) else key
+        return self._values[name]
+
+    def __contains__(self, key) -> bool:
+        name = key.name if isinstance(key, Tensor) else key
+        return name in self._values
+
+    def names(self):
+        return self._values.keys()
+
+
+def execute_graph(
+    graph: Graph,
+    feeds: Optional[Mapping[str, np.ndarray]] = None,
+    bindings: Optional[Mapping] = None,
+    *,
+    seed: int = 0,
+    params: Optional[Mapping[str, np.ndarray]] = None,
+) -> ExecutionResult:
+    """Run the graph; returns every tensor's value.
+
+    Parameters are initialized from ``params`` when given, else with a
+    seeded gaussian scaled by 1/sqrt(fan-in) so activations stay tame.
+    """
+    rng = np.random.default_rng(seed + 1)
+    values: Dict[str, np.ndarray] = {}
+
+    if feeds is None:
+        feeds = make_feeds(graph, bindings, seed=seed)
+
+    for t in graph.inputs():
+        if t.name not in feeds:
+            raise ValueError(f"missing feed for input {t.name}")
+        values[t.name] = np.asarray(feeds[t.name])
+
+    for t in graph.parameters():
+        if params is not None and t.name in params:
+            # keep the caller's dtype (float64 enables finite-difference
+            # gradient checking in the test suite)
+            values[t.name] = np.asarray(params[t.name])
+            continue
+        shape = bind_shape(t, bindings)
+        fan_in = shape[0] if shape else 1
+        scale = 1.0 / np.sqrt(max(fan_in, 1))
+        values[t.name] = (rng.standard_normal(shape) * scale).astype(
+            np.float32
+        )
+
+    for op in topological_order(graph):
+        inputs = [values[t.name] for t in op.inputs]
+        out_shapes = [bind_shape(t, bindings) for t in op.outputs]
+        outputs = op.execute(inputs, out_shapes)
+        if len(outputs) != len(op.outputs):
+            raise RuntimeError(
+                f"{op.name} returned {len(outputs)} arrays for "
+                f"{len(op.outputs)} outputs"
+            )
+        for t, array, expected in zip(op.outputs, outputs, out_shapes):
+            if tuple(np.shape(array)) != expected:
+                raise RuntimeError(
+                    f"{op.name} produced {t.name} with shape "
+                    f"{np.shape(array)}, expected {expected}"
+                )
+            values[t.name] = array
+
+    return ExecutionResult(values)

@@ -1,0 +1,34 @@
+"""Scaling laws: learning curves, capacity laws, frontier projection.
+
+Implements paper §3 — the power-law learning-curve machinery of
+Hestness et al. [18], the Table 1 constants, and the projection of
+dataset/model growth to beyond-human-level accuracy targets — plus
+fitting and synthetic-data substrates so the methodology runs offline.
+"""
+
+from .curves import LearningCurve, ModelSizeCurve
+from .domains import SCALING_DOMAINS, DomainScaling, get_scaling
+from .fit import PowerLawFit, fit_learning_curve, fit_power_law
+from .project import FrontierProjection, project_all, project_domain
+from .synthetic import (
+    TrainingRunPoint,
+    sample_learning_curve,
+    simulate_training_runs,
+)
+
+__all__ = [
+    "LearningCurve",
+    "ModelSizeCurve",
+    "DomainScaling",
+    "SCALING_DOMAINS",
+    "get_scaling",
+    "PowerLawFit",
+    "fit_power_law",
+    "fit_learning_curve",
+    "FrontierProjection",
+    "project_domain",
+    "project_all",
+    "TrainingRunPoint",
+    "sample_learning_curve",
+    "simulate_training_runs",
+]

@@ -1,0 +1,115 @@
+"""Learning-curve and model-size power laws (paper §3, Fig. 6).
+
+Hestness et al. show generalization error follows
+
+    ε(m) ≈ α·m^βg            (power-law region, βg ∈ [−0.5, 0))
+
+flanked by a *small-data region* (error plateaus at best-guess level)
+and an *irreducible-error region* (a floor from the stochasticity of
+the data).  Model capacity needed to fit m samples grows as
+
+    p(m) ≈ σ·m^βp            (βp ∈ [0.5, 1)).
+
+:class:`LearningCurve` composes all three regions (the Fig. 6 sketch);
+:class:`ModelSizeCurve` is the companion capacity law.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..symbolic import invert_power_law, power_law
+
+__all__ = ["LearningCurve", "ModelSizeCurve"]
+
+
+@dataclass(frozen=True)
+class LearningCurve:
+    """Three-region generalization-error curve ε(m)."""
+
+    alpha: float      # power-law scale α
+    beta: float       # power-law exponent βg ∈ [−0.5, 0)
+    best_guess: Optional[float] = None    # small-data plateau
+    irreducible: float = 0.0              # error floor
+
+    def __post_init__(self):
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if not -0.5 <= self.beta < 0:
+            raise ValueError(
+                f"beta_g must be in [-0.5, 0), got {self.beta}"
+            )
+        if self.irreducible < 0:
+            raise ValueError("irreducible error cannot be negative")
+
+    def error(self, samples: float) -> float:
+        """Generalization error at a dataset of ``samples`` examples."""
+        if samples <= 0:
+            raise ValueError("dataset size must be positive")
+        eps = self.irreducible + power_law(self.alpha, self.beta, samples)
+        if self.best_guess is not None:
+            eps = min(eps, self.best_guess)
+        return eps
+
+    def samples_for_error(self, target: float) -> float:
+        """Dataset size needed to reach ``target`` error (inverse)."""
+        reducible = target - self.irreducible
+        if reducible <= 0:
+            raise ValueError(
+                f"target {target} is at or below the irreducible floor "
+                f"{self.irreducible}"
+            )
+        return invert_power_law(self.alpha, self.beta, reducible)
+
+    def data_scale(self, current_error: float, target_error: float) -> float:
+        """Relative dataset growth to move current → target error.
+
+        Computed from the error *ratio* so it is anchored at the
+        observed SOTA point rather than the fitted α — the way Table 1
+        reports "Projected Scale".
+        """
+        if target_error >= current_error:
+            return 1.0
+        cur = current_error - self.irreducible
+        tgt = target_error - self.irreducible
+        if tgt <= 0:
+            raise ValueError("target error at/below irreducible floor")
+        return (tgt / cur) ** (1.0 / self.beta)
+
+    def region(self, samples: float) -> str:
+        """Which Fig. 6 region a dataset size falls in."""
+        eps = self.irreducible + power_law(self.alpha, self.beta, samples)
+        if self.best_guess is not None and eps >= self.best_guess:
+            return "small-data"
+        # within 5% of the floor counts as irreducible-dominated
+        if self.irreducible > 0 and eps <= 1.05 * self.irreducible:
+            return "irreducible"
+        return "power-law"
+
+
+@dataclass(frozen=True)
+class ModelSizeCurve:
+    """Capacity law p(m) = σ·m^βp."""
+
+    sigma: float
+    beta: float   # βp ∈ [0.5, 1)
+
+    def __post_init__(self):
+        if self.sigma <= 0:
+            raise ValueError("sigma must be positive")
+        if not 0.5 <= self.beta < 1.0:
+            raise ValueError(
+                f"beta_p must be in [0.5, 1), got {self.beta}"
+            )
+
+    def params(self, samples: float) -> float:
+        """Required parameter count for a dataset of ``samples``."""
+        return power_law(self.sigma, self.beta, samples)
+
+    def model_scale(self, data_scale: float) -> float:
+        """Relative model growth implied by a relative data growth."""
+        if data_scale <= 0:
+            raise ValueError("data scale must be positive")
+        return data_scale**self.beta

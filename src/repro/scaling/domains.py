@@ -1,0 +1,147 @@
+"""Domain scaling registry — the constants of paper Table 1.
+
+Each row records the domain's current/desired SOTA accuracy, current
+dataset size, the learning-curve constants (α, βg) and model-size
+constants (σ, βp) from Hestness et al. [18], and the current-SOTA
+parameter count used to anchor absolute projections (Table 3's
+"Projected Params" column divided by Table 1's "Model" scale).
+
+Error metrics are per-domain (nats/word, bits/char, WPER, CER, Top-1);
+all behave as "lower is better", which is all the projection needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .curves import LearningCurve, ModelSizeCurve
+
+__all__ = ["DomainScaling", "SCALING_DOMAINS", "get_scaling"]
+
+
+@dataclass(frozen=True)
+class DomainScaling:
+    """One Table 1 row."""
+
+    key: str
+    display: str
+    error_metric: str
+    current_sota: float
+    desired_sota: float
+    #: current SOTA training-set size, in samples (words/chars/images)
+    current_samples: float
+    #: current SOTA training-set size, GB
+    current_gb: float
+    learning_curve: LearningCurve
+    model_curve: ModelSizeCurve
+    #: current SOTA model parameters (anchors absolute projections)
+    current_params: float
+    #: sample unit name, for reporting
+    sample_unit: str
+
+    @property
+    def data_scale(self) -> float:
+        """Projected relative dataset growth (Table 1 'Data' column)."""
+        return self.learning_curve.data_scale(self.current_sota,
+                                              self.desired_sota)
+
+    @property
+    def model_scale(self) -> float:
+        """Projected relative model growth (Table 1 'Model' column)."""
+        return self.model_curve.model_scale(self.data_scale)
+
+    @property
+    def target_samples(self) -> float:
+        return self.current_samples * self.data_scale
+
+    @property
+    def target_gb(self) -> float:
+        return self.current_gb * self.data_scale
+
+    @property
+    def target_params(self) -> float:
+        return self.current_params * self.model_scale
+
+
+SCALING_DOMAINS: Dict[str, DomainScaling] = {
+    d.key: d
+    for d in [
+        DomainScaling(
+            key="word_lm",
+            display="Word LMs (LSTM)",
+            error_metric="nats/word",
+            current_sota=3.37,
+            desired_sota=2.48,     # Shannon entropy estimate [31]
+            current_samples=768e6,
+            current_gb=3.9,
+            learning_curve=LearningCurve(alpha=13.0, beta=-0.066),
+            model_curve=ModelSizeCurve(sigma=9.4e-4, beta=0.68),
+            current_params=1.035e9,
+            sample_unit="words",
+        ),
+        DomainScaling(
+            key="char_lm",
+            display="Character LMs (RHN)",
+            error_metric="bits/char",
+            current_sota=1.30,
+            desired_sota=0.70,     # Shannon entropy estimate [31]
+            current_samples=3.48e9,
+            current_gb=3.9,
+            learning_curve=LearningCurve(alpha=9.39, beta=-0.092),
+            model_curve=ModelSizeCurve(sigma=1.2e-5, beta=0.89),
+            current_params=3.2e8,
+            sample_unit="chars",
+        ),
+        DomainScaling(
+            key="nmt",
+            display="NMT (enc/dec+attn)",
+            error_metric="WPER",
+            current_sota=0.28,
+            desired_sota=0.12,
+            current_samples=130e6,
+            current_gb=2.6,
+            learning_curve=LearningCurve(alpha=3.06, beta=-0.128),
+            model_curve=ModelSizeCurve(sigma=6.4e-4, beta=0.68),
+            current_params=2.1e8,
+            sample_unit="word pieces",
+        ),
+        DomainScaling(
+            key="speech",
+            display="Speech Recogn. (enc/dec+attn)",
+            error_metric="CER",
+            current_sota=0.095,
+            desired_sota=0.04,     # Microsoft 2017 human parity [39]
+            current_samples=425e6,
+            current_gb=1674,
+            learning_curve=LearningCurve(alpha=30.5, beta=-0.291),
+            model_curve=ModelSizeCurve(sigma=2.4e-3, beta=0.54),
+            current_params=1.1e8,
+            sample_unit="chars",
+        ),
+        DomainScaling(
+            key="image",
+            display="Image Classification (ResNet)",
+            error_metric="Top-1 error",
+            current_sota=0.194,
+            desired_sota=0.05,     # ImageNet frontier target [29]
+            current_samples=1.3e6,
+            current_gb=152,
+            learning_curve=LearningCurve(alpha=15.0, beta=-0.309),
+            model_curve=ModelSizeCurve(sigma=2.0e-2, beta=0.57),
+            current_params=6.1e7,
+            sample_unit="images",
+        ),
+    ]
+}
+
+
+def get_scaling(key: str) -> DomainScaling:
+    """Look up a domain's scaling constants."""
+    try:
+        return SCALING_DOMAINS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown scaling domain {key!r}; "
+            f"available: {sorted(SCALING_DOMAINS)}"
+        )

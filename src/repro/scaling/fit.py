@@ -1,0 +1,77 @@
+"""Power-law fitting from (dataset size, error) observations.
+
+The paper's projections lean on *empirically fitted* power laws from
+Hestness et al.; this module provides the fitting machinery so the
+whole methodology — measure learning curves, fit, extrapolate — can be
+exercised end-to-end on synthetic data (see
+:mod:`repro.scaling.synthetic`).
+
+Fitting is ordinary least squares in log-log space:
+``log ε = log α + βg·log m``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["PowerLawFit", "fit_power_law", "fit_learning_curve"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Result of a log-log least-squares fit y ≈ scale·x^exponent."""
+
+    scale: float
+    exponent: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.scale * x**self.exponent
+
+
+def fit_power_law(x: Sequence[float], y: Sequence[float]) -> PowerLawFit:
+    """Fit y ≈ scale·x^exponent by linear regression in log-log space."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.size != y.size:
+        raise ValueError("x and y must have equal length")
+    if x.size < 2:
+        raise ValueError("need at least two points to fit a power law")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("power-law fitting needs positive data")
+
+    lx, ly = np.log(x), np.log(y)
+    design = np.column_stack([np.ones_like(lx), lx])
+    coef, *_ = np.linalg.lstsq(design, ly, rcond=None)
+    intercept, slope = coef
+
+    predicted = design @ coef
+    ss_res = float(np.sum((ly - predicted) ** 2))
+    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+
+    return PowerLawFit(scale=float(np.exp(intercept)),
+                       exponent=float(slope), r_squared=r2)
+
+
+def fit_learning_curve(samples: Sequence[float],
+                       errors: Sequence[float], *,
+                       irreducible: float = 0.0
+                       ) -> Tuple[PowerLawFit, float]:
+    """Fit the power-law region of a learning curve.
+
+    Subtracts a known/estimated irreducible floor before fitting (the
+    floor bends the log-log curve; removing it restores linearity).
+    Returns (fit of the reducible part, the floor used).
+    """
+    errors = np.asarray(errors, dtype=float)
+    reducible = errors - irreducible
+    if np.any(reducible <= 0):
+        raise ValueError(
+            "some errors are at/below the irreducible floor; "
+            "cannot fit the power-law region"
+        )
+    return fit_power_law(samples, reducible), irreducible

@@ -1,0 +1,55 @@
+"""Accuracy-frontier projection (paper §3 / Table 1, feeding Table 3).
+
+Combines a domain's learning-curve and model-size laws with its
+current/desired SOTA to project required dataset and model growth, and
+anchors the relative scales at the current SOTA's absolute sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .domains import SCALING_DOMAINS, DomainScaling, get_scaling
+
+__all__ = ["FrontierProjection", "project_domain", "project_all"]
+
+
+@dataclass(frozen=True)
+class FrontierProjection:
+    """Projected frontier requirements for one domain."""
+
+    key: str
+    display: str
+    current_sota: float
+    desired_sota: float
+    improvement: float        # current/desired error ratio (1.4–3.9×)
+    data_scale: float         # Table 1 'Data' column
+    model_scale: float        # Table 1 'Model' column
+    target_samples: float     # absolute projected dataset size
+    target_gb: float
+    target_params: float      # absolute projected model size
+    sample_unit: str
+
+
+def project_domain(key: str) -> FrontierProjection:
+    """Project one domain to its desired-SOTA frontier."""
+    d: DomainScaling = get_scaling(key)
+    return FrontierProjection(
+        key=d.key,
+        display=d.display,
+        current_sota=d.current_sota,
+        desired_sota=d.desired_sota,
+        improvement=d.current_sota / d.desired_sota,
+        data_scale=d.data_scale,
+        model_scale=d.model_scale,
+        target_samples=d.target_samples,
+        target_gb=d.target_gb,
+        target_params=d.target_params,
+        sample_unit=d.sample_unit,
+    )
+
+
+def project_all() -> Dict[str, FrontierProjection]:
+    """Project every Table 1 domain."""
+    return {key: project_domain(key) for key in SCALING_DOMAINS}

@@ -1,0 +1,185 @@
+"""Generalized-polynomial utilities over the expression engine.
+
+The compute-requirement formulas in the paper are *posynomials*: sums of
+terms ``c * x1**a1 * ... * xk**ak`` with rational exponents (e.g.
+``1755*p + 30784*b*p**(1/2)``).  This module provides the manipulation
+the analysis layer needs:
+
+* :func:`expand` — distribute products over sums,
+* :func:`degree` / :func:`coefficient` — per-symbol degree queries,
+* :func:`asymptotic_ratio` — ``lim expr_a/expr_b`` as a symbol grows,
+* :func:`leading_term` — dominant term for a growing symbol.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional
+
+from .expr import (
+    Add,
+    Ceil,
+    Const,
+    Expr,
+    Floor,
+    Log,
+    Max,
+    Min,
+    Mul,
+    Pow,
+    Symbol,
+    as_expr,
+)
+
+__all__ = [
+    "expand",
+    "degree",
+    "coefficient",
+    "leading_term",
+    "asymptotic_ratio",
+]
+
+
+def expand(expr: Expr) -> Expr:
+    """Distribute multiplication over addition, recursively.
+
+    Powers with positive integer exponents over sums expand too:
+    ``(a + b)**2 -> a**2 + 2*a*b + b**2``.
+    """
+    expr = as_expr(expr)
+    if isinstance(expr, (Const, Symbol)):
+        return expr
+    if isinstance(expr, Add):
+        return Add.of(*(expand(arg) for arg in expr.args()))
+    if isinstance(expr, Pow):
+        base = expand(expr.base)
+        exponent = expand(expr.exponent)
+        if (
+            isinstance(base, Add)
+            and isinstance(exponent, Const)
+            and exponent.value.denominator == 1
+            and exponent.value >= 2
+        ):
+            n = int(exponent.value)
+            out = base
+            for _ in range(n - 1):
+                out = _mul_expand(out, base)
+            return out
+        return Pow.of(base, exponent)
+    if isinstance(expr, Mul):
+        parts = [expand(arg) for arg in expr.args()]
+        result = parts[0]
+        for part in parts[1:]:
+            result = _mul_expand(result, part)
+        return result
+    if isinstance(expr, Max):
+        return Max.of(*(expand(a) for a in expr.fargs))
+    if isinstance(expr, Min):
+        return Min.of(*(expand(a) for a in expr.fargs))
+    if isinstance(expr, (Ceil, Floor, Log)):
+        return type(expr).of(expand(expr.fargs[0]))
+    raise TypeError(f"cannot expand {type(expr).__name__}")
+
+
+def _mul_expand(a: Expr, b: Expr) -> Expr:
+    a_terms = a.args() if isinstance(a, Add) else (a,)
+    b_terms = b.args() if isinstance(b, Add) else (b,)
+    products = [Mul.of(x, y) for x in a_terms for y in b_terms]
+    return Add.of(*products)
+
+
+def _term_degree(term: Expr, sym: Symbol) -> Optional[Fraction]:
+    """Degree of a product-form term in ``sym``; None if non-posynomial."""
+    if isinstance(term, Const):
+        return Fraction(0)
+    if isinstance(term, Symbol):
+        return Fraction(1) if term == sym else Fraction(0)
+    if isinstance(term, Pow):
+        if not isinstance(term.exponent, Const):
+            return None
+        inner = _term_degree(term.base, sym)
+        if inner is None:
+            return None
+        return inner * term.exponent.value
+    if isinstance(term, Mul):
+        total = Fraction(0)
+        for base, exponent in term.factors:
+            if not isinstance(exponent, Const):
+                return None
+            inner = _term_degree(base, sym)
+            if inner is None:
+                return None
+            total += inner * exponent.value
+        return total
+    if isinstance(term, (Max, Min, Ceil, Floor, Log)):
+        if sym in term.free_symbols():
+            return None
+        return Fraction(0)
+    return None
+
+
+def degree(expr: Expr, sym: Symbol) -> Fraction:
+    """Highest degree of ``sym`` across the expanded expression's terms.
+
+    Raises ``ValueError`` when the expression is not a posynomial in
+    ``sym`` (e.g. the symbol appears inside ``max`` or ``log``).
+    """
+    expr = expand(as_expr(expr))
+    terms = expr.args() if isinstance(expr, Add) else (expr,)
+    best = None
+    for term in terms:
+        d = _term_degree(term, sym)
+        if d is None:
+            raise ValueError(f"{expr} is not polynomial-like in {sym}")
+        best = d if best is None else max(best, d)
+    return best if best is not None else Fraction(0)
+
+
+def coefficient(expr: Expr, sym: Symbol, power) -> Expr:
+    """Sum of terms of exact degree ``power`` in ``sym``, with sym removed.
+
+    ``power`` may be an int or Fraction (e.g. ``Fraction(1, 2)`` for the
+    ``sqrt`` coefficient).
+    """
+    power = Fraction(power)
+    expr = expand(as_expr(expr))
+    terms = expr.args() if isinstance(expr, Add) else (expr,)
+    matched = []
+    for term in terms:
+        d = _term_degree(term, sym)
+        if d is None:
+            raise ValueError(f"{expr} is not polynomial-like in {sym}")
+        if d == power:
+            matched.append(Mul.of(term, Pow.of(sym, Const(-power))))
+    if not matched:
+        return Const(0)
+    return Add.of(*matched)
+
+
+def leading_term(expr: Expr, sym: Symbol) -> Expr:
+    """The sum of highest-degree terms of ``expr`` in ``sym``."""
+    d = degree(expr, sym)
+    return Mul.of(coefficient(expr, sym, d), Pow.of(sym, Const(d)))
+
+
+def asymptotic_ratio(numerator: Expr, denominator: Expr, sym: Symbol) -> Expr:
+    """``lim numerator/denominator`` as ``sym`` → ∞ for posynomials.
+
+    Returns 0 when the denominator dominates; raises ``OverflowError``
+    when the numerator dominates (the limit is infinite); otherwise
+    returns the (possibly symbolic) ratio of leading coefficients.
+    """
+    num = expand(as_expr(numerator))
+    den = expand(as_expr(denominator))
+    dn = degree(num, sym)
+    dd = degree(den, sym)
+    if dn < dd:
+        return Const(0)
+    if dn > dd:
+        raise OverflowError(
+            f"limit of ({num})/({den}) in {sym} diverges (degree {dn} > {dd})"
+        )
+    return Mul.of(
+        coefficient(num, sym, dn),
+        Pow.of(coefficient(den, sym, dd), Const(-1)),
+    )

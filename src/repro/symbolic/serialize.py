@@ -1,0 +1,98 @@
+"""JSON (de)serialization of symbolic expressions.
+
+Supports the graph-checkpoint workflow (paper Appendix A): the artifact
+saves compute-graph definitions to disk and reloads them for analysis;
+our checkpoints must round-trip tensors' *symbolic* shapes exactly.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Dict
+
+from .expr import (
+    Add,
+    Ceil,
+    Const,
+    Expr,
+    Floor,
+    Log,
+    Max,
+    Min,
+    Mul,
+    Pow,
+    Symbol,
+)
+
+__all__ = ["expr_to_json", "expr_from_json"]
+
+
+def _frac(value: Fraction) -> str:
+    return f"{value.numerator}/{value.denominator}"
+
+
+def _unfrac(text: str) -> Fraction:
+    num, den = text.split("/")
+    return Fraction(int(num), int(den))
+
+
+def expr_to_json(expr: Expr) -> Dict[str, Any]:
+    """Encode an expression as a JSON-compatible dict (lossless)."""
+    if isinstance(expr, Const):
+        return {"t": "const", "v": _frac(expr.value)}
+    if isinstance(expr, Symbol):
+        return {"t": "sym", "name": expr.name}
+    if isinstance(expr, Add):
+        return {
+            "t": "add",
+            "const": _frac(expr.const),
+            "terms": [
+                [expr_to_json(term), _frac(coeff)]
+                for term, coeff in expr.terms
+            ],
+        }
+    if isinstance(expr, Mul):
+        return {
+            "t": "mul",
+            "coeff": _frac(expr.coeff),
+            "factors": [
+                [expr_to_json(base), expr_to_json(exponent)]
+                for base, exponent in expr.factors
+            ],
+        }
+    if isinstance(expr, Pow):
+        return {"t": "pow", "base": expr_to_json(expr.base),
+                "exp": expr_to_json(expr.exponent)}
+    if isinstance(expr, (Max, Min, Ceil, Floor, Log)):
+        return {"t": expr.fname,
+                "args": [expr_to_json(a) for a in expr.fargs]}
+    raise TypeError(f"cannot serialize {type(expr).__name__}")
+
+
+def expr_from_json(data: Dict[str, Any]) -> Expr:
+    """Decode an expression; inverse of :func:`expr_to_json`."""
+    kind = data["t"]
+    if kind == "const":
+        return Const(_unfrac(data["v"]))
+    if kind == "sym":
+        return Symbol(data["name"])
+    if kind == "add":
+        parts = [Const(_unfrac(data["const"]))]
+        for term, coeff in data["terms"]:
+            parts.append(Mul.of(Const(_unfrac(coeff)),
+                                expr_from_json(term)))
+        return Add.of(*parts)
+    if kind == "mul":
+        parts = [Const(_unfrac(data["coeff"]))]
+        for base, exponent in data["factors"]:
+            parts.append(Pow.of(expr_from_json(base),
+                                expr_from_json(exponent)))
+        return Mul.of(*parts)
+    if kind == "pow":
+        return Pow.of(expr_from_json(data["base"]),
+                      expr_from_json(data["exp"]))
+    fn = {"max": Max, "min": Min, "ceil": Ceil, "floor": Floor,
+          "log": Log}.get(kind)
+    if fn is not None:
+        return fn.of(*(expr_from_json(a) for a in data["args"]))
+    raise ValueError(f"unknown expression node {kind!r}")

@@ -1,0 +1,94 @@
+"""Numeric solving helpers for the scaling-law layer.
+
+The projection math in the paper reduces to inverting power laws
+(``ε = α m**β  ⇒  m = (ε/α)**(1/β)``) and to one-dimensional root
+finding on monotone expressions (e.g. "smallest subbatch whose
+graph-level operational intensity reaches the accelerator ridge
+point").  Both live here so the scaling and planner layers stay free of
+numerics.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from typing import Callable, Mapping
+
+from .expr import Expr, Symbol
+
+__all__ = ["invert_power_law", "power_law", "bisect_increasing", "evalf_fn"]
+
+
+def power_law(scale: float, exponent: float, x: float) -> float:
+    """Evaluate ``scale * x**exponent``."""
+    if x <= 0:
+        raise ValueError(f"power law argument must be positive, got {x}")
+    return scale * x**exponent
+
+
+def invert_power_law(scale: float, exponent: float, target: float) -> float:
+    """Solve ``target = scale * x**exponent`` for ``x``.
+
+    Works for negative exponents (learning curves, β ∈ [−0.5, 0)) and
+    positive exponents (model-size curves, β ∈ [0.5, 1)).  Raises a
+    clear ``ValueError`` when the solution exceeds the float range —
+    e.g. asking a nearly-flat learning curve (β ≈ 0) for a large error
+    reduction can demand more samples than 10^308.
+    """
+    if scale <= 0 or target <= 0:
+        raise ValueError("power-law inversion needs positive scale and target")
+    if exponent == 0:
+        raise ValueError("cannot invert a constant power law (exponent 0)")
+    log_x = math.log(target / scale) / exponent
+    if log_x > math.log(sys.float_info.max):
+        raise ValueError(
+            f"power-law solution exp({log_x:.1f}) exceeds the float "
+            "range; the target is unreachable at this exponent"
+        )
+    return math.exp(log_x)
+
+
+def evalf_fn(expr: Expr, sym: Symbol,
+             fixed: Mapping = None) -> Callable[[float], float]:
+    """Compile an Expr into a float function of one symbol.
+
+    ``fixed`` supplies bindings for every other free symbol.
+    """
+    fixed = dict(fixed or {})
+
+    def fn(x: float) -> float:
+        bindings = dict(fixed)
+        bindings[sym] = x
+        return expr.evalf(bindings)
+
+    return fn
+
+
+def bisect_increasing(fn: Callable[[float], float], target: float,
+                      lo: float, hi: float, *, tol: float = 1e-9,
+                      max_iter: int = 200) -> float:
+    """Find x in [lo, hi] with fn(x) == target for nondecreasing ``fn``.
+
+    Returns ``hi`` if even ``fn(hi) < target`` (saturated), and ``lo``
+    if ``fn(lo) > target`` already.  Used e.g. to find the subbatch size
+    where operational intensity crosses the accelerator ridge point.
+    """
+    if lo > hi:
+        raise ValueError(f"empty bracket [{lo}, {hi}]")
+    flo, fhi = fn(lo), fn(hi)
+    if flo >= target:
+        return lo
+    if fhi <= target:
+        return hi
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        fmid = fn(mid)
+        if math.isclose(fmid, target, rel_tol=tol, abs_tol=tol):
+            return mid
+        if fmid < target:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= tol * max(1.0, abs(hi)):
+            break
+    return 0.5 * (lo + hi)

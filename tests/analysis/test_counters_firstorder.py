@@ -1,0 +1,148 @@
+"""Tests for step counters and first-order model derivation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import StepCounts, derive_symbolic, fit_numeric
+from repro.models import build_word_lm
+
+
+@pytest.fixture(scope="module")
+def word_lm():
+    return build_word_lm(seq_len=6, vocab=300, layers=2)
+
+
+@pytest.fixture(scope="module")
+def counts(word_lm):
+    return StepCounts(word_lm)
+
+
+class TestStepCounts:
+    def test_requires_training_step(self):
+        m = build_word_lm(seq_len=3, vocab=50, training=False)
+        with pytest.raises(ValueError):
+            StepCounts(m)
+
+    def test_decomposition_reassembles_total(self, counts, word_lm):
+        from repro.symbolic import expand
+
+        b = word_lm.batch
+        reassembled = counts.flops_fixed + b * counts.flops_per_sample
+        assert expand(reassembled) == expand(counts.step_flops)
+
+    def test_bytes_decomposition(self, counts, word_lm):
+        from repro.symbolic import expand
+
+        b = word_lm.batch
+        reassembled = counts.bytes_fixed + b * counts.bytes_per_sample
+        assert expand(reassembled) == expand(counts.step_bytes)
+
+    def test_eval_matches_direct_binding(self, counts):
+        direct = counts.step_flops.evalf(counts.bind(32, 4))
+        assert counts.eval_step_flops(32, 4) == direct
+
+    def test_intensity_increases_with_subbatch(self, counts):
+        low = counts.eval_intensity(64, 1)
+        high = counts.eval_intensity(64, 64)
+        assert high > low
+
+    def test_io_bytes_linear_in_batch(self, counts, word_lm):
+        from repro.symbolic import degree
+
+        assert degree(counts.io_bytes, word_lm.batch) == 1
+
+    def test_bind_rejects_size_for_concrete_model(self):
+        m = build_word_lm(hidden=16, seq_len=3, vocab=50)
+        c = StepCounts(m)
+        with pytest.raises(ValueError):
+            c.bind(32, 4)
+
+
+class TestDeriveSymbolic:
+    def test_gamma_positive_and_near_6q(self, counts):
+        fo = derive_symbolic(counts)
+        assert 0.8 * 36 <= fo.gamma <= 1.2 * 36  # q = 6
+
+    def test_requires_symbolic_size(self):
+        m = build_word_lm(hidden=16, seq_len=3, vocab=50)
+        with pytest.raises(ValueError):
+            derive_symbolic(StepCounts(m))
+
+    def test_intensity_coefficients_consistent(self, counts):
+        fo = derive_symbolic(counts)
+        c1, c2 = fo.intensity_coefficients()
+        assert c1 == pytest.approx(fo.lam / fo.gamma)
+        assert c2 == pytest.approx(fo.mu / fo.gamma)
+        assert "sqrt(p)" in fo.intensity_formula()
+
+    def test_prediction_matches_exact_at_scale(self, counts):
+        """γ·b·p approximates the exact step FLOPs at large size."""
+        fo = derive_symbolic(counts)
+        size, b = 4096, 8
+        params = counts.eval_params(size)
+        exact = counts.eval_step_flops(size, b)
+        assert fo.step_flops(params, b) == pytest.approx(exact, rel=0.15)
+
+    def test_intensity_model_matches_exact(self, counts):
+        fo = derive_symbolic(counts)
+        size, b = 4096, 32
+        params = counts.eval_params(size)
+        exact = counts.eval_intensity(size, b)
+        assert fo.intensity(params, b) == pytest.approx(exact, rel=0.25)
+
+
+class TestFitNumeric:
+    def test_recovers_planted_constants(self):
+        """Fit on synthetic data generated from known γ, λ, µ, δ, φ."""
+        gamma, lam, mu, delta, phi = 480.0, 1800.0, 30000.0, 11.0, 90.0
+        b = 32
+        p = np.array([1e7, 3e7, 1e8, 3e8, 1e9])
+        fo = fit_numeric(
+            "planted",
+            p,
+            gamma * p,
+            lam * p,
+            mu * np.sqrt(p),
+            delta * p + phi * b * np.sqrt(p),
+            footprint_subbatch=b,
+        )
+        assert fo.gamma == pytest.approx(gamma, rel=1e-9)
+        assert fo.lam == pytest.approx(lam, rel=1e-9)
+        assert fo.mu == pytest.approx(mu, rel=1e-9)
+        assert fo.delta == pytest.approx(delta, rel=1e-6)
+        assert fo.phi == pytest.approx(phi, rel=1e-4)
+
+    def test_delta_floor_enforced(self):
+        """Footprints below 8 B/param cannot drive δ unphysical."""
+        p = np.array([1e7, 1e8, 1e9])
+        fo = fit_numeric("x", p, p, p, np.sqrt(p), 8.0 * p,
+                         footprint_subbatch=1)
+        assert fo.delta >= 8.0
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_numeric("x", [1e7], [1e9], [1e9], [1e5])
+
+    def test_symbolic_and_numeric_agree_on_word_lm(self, counts):
+        """The two derivation paths must agree at large scale."""
+        from repro.analysis import sweep_domain
+
+        fo_sym = derive_symbolic(counts)
+        # numeric fit over the upper size range (asymptotic regime)
+        sizes = [2048, 3072, 4096, 6144]
+        rows = []
+        for s in sizes:
+            bindings = counts.bind(s, 1)
+            rows.append((
+                counts.params.evalf(bindings),
+                counts.flops_per_sample.evalf(bindings),
+                counts.bytes_fixed.evalf(bindings),
+                counts.bytes_per_sample.evalf(bindings),
+            ))
+        fo_fit = fit_numeric(
+            "word_lm",
+            [r[0] for r in rows], [r[1] for r in rows],
+            [r[2] for r in rows], [r[3] for r in rows],
+        )
+        assert fo_fit.gamma == pytest.approx(fo_sym.gamma, rel=0.2)
+        assert fo_fit.lam == pytest.approx(fo_sym.lam, rel=0.2)

@@ -1,0 +1,121 @@
+"""Unit tests for the Graph container."""
+
+import pytest
+
+from repro.graph import Graph
+from repro.ops import add, matmul
+from repro.symbolic import symbols
+
+b, h, v = symbols("b h v")
+
+
+def make_linear_graph():
+    g = Graph("lin")
+    x = g.input("x", (b, h))
+    w = g.parameter("w", (h, v))
+    out = matmul(g, x, w)
+    return g, x, w, out
+
+
+class TestConstruction:
+    def test_unique_names(self):
+        g = Graph()
+        t1 = g.tensor("x", (b,))
+        t2 = g.tensor("x", (b,))
+        assert t1.name != t2.name
+        assert g.unique_name("x") not in (t1.name, t2.name)
+
+    def test_producer_consumer_wiring(self):
+        g, x, w, out = make_linear_graph()
+        op = g.ops[0]
+        assert out.producer is op
+        assert op in x.consumers
+        assert op in w.consumers
+
+    def test_requires_grad_propagates(self):
+        g, x, w, out = make_linear_graph()
+        assert not x.requires_grad
+        assert out.requires_grad  # w is a parameter
+
+    def test_foreign_tensor_rejected(self):
+        g1, x1, w1, _ = make_linear_graph()
+        g2 = Graph("other")
+        with pytest.raises(ValueError):
+            matmul(g2, x1, w1)
+
+    def test_double_producer_rejected(self):
+        from repro.graph import Op
+
+        g = Graph()
+        t = g.tensor("t", (b,))
+
+        class FakeOp(Op):
+            pass
+
+        g.add_op(FakeOp("op1", [], [t]))
+        with pytest.raises(ValueError):
+            g.add_op(FakeOp("op2", [], [t]))
+
+    def test_duplicate_op_name_rejected(self):
+        from repro.graph import Op
+
+        g = Graph()
+        t1 = g.tensor("t1", (b,))
+        t2 = g.tensor("t2", (b,))
+
+        class FakeOp(Op):
+            pass
+
+        g.add_op(FakeOp("op", [], [t1]))
+        with pytest.raises(ValueError):
+            g.add_op(FakeOp("op", [], [t2]))
+
+
+class TestAggregates:
+    def test_parameter_count(self):
+        g, *_ = make_linear_graph()
+        assert g.parameter_count() == h * v
+
+    def test_parameter_bytes(self):
+        g, *_ = make_linear_graph()
+        assert g.parameter_bytes() == 4 * h * v
+
+    def test_total_flops(self):
+        g, *_ = make_linear_graph()
+        assert g.total_flops() == 2 * b * h * v
+
+    def test_total_bytes(self):
+        g, *_ = make_linear_graph()
+        assert g.total_bytes_accessed() == 4 * (b * h + h * v + b * v)
+
+    def test_algorithmic_io(self):
+        g, x, *_ = make_linear_graph()
+        assert g.algorithmic_io_bytes() == 4 * b * h
+
+    def test_aggregate_cache_invalidated_by_add(self):
+        g, x, w, out = make_linear_graph()
+        before = g.total_flops()
+        add(g, out, out)
+        after = g.total_flops()
+        assert after == before + b * v
+
+    def test_find(self):
+        g, x, *_ = make_linear_graph()
+        assert g.find(x.name) is x
+        with pytest.raises(KeyError):
+            g.find("nope")
+
+    def test_free_symbols(self):
+        g, *_ = make_linear_graph()
+        assert g.free_symbols() == frozenset({b, h, v})
+
+    def test_len_and_repr(self):
+        g, *_ = make_linear_graph()
+        assert len(g) == 1
+        assert "lin" in repr(g)
+
+    def test_empty_graph_aggregates(self):
+        g = Graph("empty")
+        assert g.parameter_count() == 0
+        assert g.total_flops() == 0
+        assert g.algorithmic_io_bytes() == 0

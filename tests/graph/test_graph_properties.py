@@ -1,0 +1,111 @@
+"""Property-based tests of graph invariants (hypothesis).
+
+Random layered MLP-style graphs check that scheduling, liveness, and
+cost accounting hold structurally, not just on hand-picked examples.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    Graph,
+    evaluate_sizes,
+    liveness_peak,
+    memory_greedy_order,
+    topological_order,
+    validate_graph,
+)
+from repro.ops import add, matmul, relu, sigmoid, tanh
+
+
+@st.composite
+def random_mlp(draw):
+    """A random dag of matmul/activation/add layers with concrete dims."""
+    g = Graph("random")
+    batch = draw(st.integers(1, 4))
+    width = draw(st.integers(2, 6))
+    depth = draw(st.integers(1, 5))
+    x = g.input("x", (batch, width))
+    tensors = [x]
+    for i in range(depth):
+        choice = draw(st.integers(0, 3))
+        src = tensors[draw(st.integers(0, len(tensors) - 1))]
+        if choice == 0:
+            w = g.parameter(f"w{i}", (width, width))
+            tensors.append(matmul(g, src, w))
+        elif choice == 1:
+            fn = draw(st.sampled_from([relu, sigmoid, tanh]))
+            tensors.append(fn(g, src))
+        else:
+            other = tensors[draw(st.integers(0, len(tensors) - 1))]
+            tensors.append(add(g, src, other))
+    return g
+
+
+@given(random_mlp())
+@settings(max_examples=60, deadline=None)
+def test_random_graphs_validate(g):
+    validate_graph(g)
+
+
+@given(random_mlp())
+@settings(max_examples=60, deadline=None)
+def test_topological_orders_are_complete_and_valid(g):
+    for order in (topological_order(g),
+                  memory_greedy_order(g, evaluate_sizes(g))):
+        assert len(order) == len(g.ops)
+        seen = set()
+        for op in order:
+            for t in op.inputs:
+                if t.producer is not None:
+                    assert t.producer in seen
+            seen.add(op)
+
+
+@given(random_mlp())
+@settings(max_examples=60, deadline=None)
+def test_schedules_bracket_the_footprint(g):
+    """Any schedule's peak covers the persistent set plus the largest
+    single-op transient working set; greedy is a heuristic and may
+    occasionally lose to program order (analysis takes the min), but
+    both must be valid upper bounds above the structural lower bound."""
+    sizes = evaluate_sizes(g)
+    persistent = sum(
+        sizes[t] for t in g.tensors.values()
+        if t.is_persistent or t.producer is None
+    )
+    working = max(
+        sum(sizes[t] for t in set(op.inputs) | set(op.outputs)
+            if not (t.is_persistent or t.producer is None))
+        for op in g.ops
+    )
+    lower = persistent + working
+    program = liveness_peak(g, topological_order(g), sizes)
+    greedy = liveness_peak(g, memory_greedy_order(g, sizes), sizes)
+    assert program >= lower
+    assert greedy >= lower
+    assert min(greedy, program) <= program
+
+
+@given(random_mlp())
+@settings(max_examples=40, deadline=None)
+def test_flops_and_bytes_nonnegative_and_consistent(g):
+    flops = g.total_flops().evalf()
+    byts = g.total_bytes_accessed().evalf()
+    assert flops >= 0
+    assert byts > 0  # at least the input is written/read
+    per_op = sum(op.flops().evalf() for op in g.ops)
+    assert per_op == flops
+
+
+@given(random_mlp(), st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_execution_deterministic_and_shape_correct(g, seed):
+    from repro.runtime import execute_graph
+
+    r1 = execute_graph(g, seed=seed)
+    r2 = execute_graph(g, seed=seed)
+    for name in r1.names():
+        np.testing.assert_array_equal(r1[name], r2[name])
+        assert np.isfinite(r1[name]).all()

@@ -1,0 +1,74 @@
+"""Tests for structural graph validation."""
+
+import pytest
+
+from repro.graph import Graph, Op, Tensor, validate_graph
+from repro.graph.validate import GraphValidationError
+from repro.ops import matmul, relu
+from repro.symbolic import symbols
+
+b, h = symbols("b h")
+
+
+class PassOp(Op):
+    kind = "pass"
+
+
+class TestValidGraphs:
+    def test_empty_graph_valid(self):
+        validate_graph(Graph("empty"))
+
+    def test_simple_model_valid(self):
+        g = Graph()
+        x = g.input("x", (b, h))
+        w = g.parameter("w", (h, h))
+        relu(g, matmul(g, x, w))
+        validate_graph(g)
+
+
+class TestInvalidGraphs:
+    def test_orphan_activation_detected(self):
+        g = Graph()
+        g.tensor("orphan", (b,))  # no producer, not input/param
+        with pytest.raises(GraphValidationError, match="no producer"):
+            validate_graph(g)
+
+    def test_shape_rule_violation_detected(self):
+        g = Graph()
+        x = g.input("x", (b, h))
+        w = g.parameter("w", (h, h))
+        out = g.tensor("out", (b, h, h))  # wrong rank for matmul
+        from repro.ops import MatMulOp
+
+        g.add_op(MatMulOp("mm", x, w, out))
+        with pytest.raises(GraphValidationError):
+            validate_graph(g)
+
+    def test_unconsumed_tensor_flagged_when_strict(self):
+        g = Graph()
+        x = g.input("x", (b, h))
+        mid = g.tensor("mid", (b, h))
+        dead = g.tensor("dead", (b, h))
+        g.add_op(PassOp("op1", [x], [mid]))
+        g.add_op(PassOp("op2", [x], [dead]))
+        g.add_op(PassOp("op3", [mid], [g.tensor("out", (b, h))]))
+        # default: terminal outputs allowed
+        with pytest.raises(GraphValidationError, match="never consumed"):
+            validate_graph(g, allow_unconsumed=False)
+
+    def test_inconsistent_consumer_list_detected(self):
+        g = Graph()
+        x = g.input("x", (b,))
+        out = g.tensor("out", (b,))
+        g.add_op(PassOp("op", [x], [out]))
+        x.consumers.append(PassOp("ghost", [], []))  # corrupt wiring
+        with pytest.raises(GraphValidationError, match="does not read"):
+            validate_graph(g)
+
+    def test_error_lists_all_problems(self):
+        g = Graph()
+        g.tensor("orphan1", (b,))
+        g.tensor("orphan2", (b,))
+        with pytest.raises(GraphValidationError) as excinfo:
+            validate_graph(g)
+        assert len(excinfo.value.problems) == 2

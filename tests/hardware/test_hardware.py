@@ -1,0 +1,144 @@
+"""Tests for the accelerator, Roofline, cache, and interconnect models."""
+
+import math
+
+import pytest
+
+from repro.hardware import (
+    V100_LIKE,
+    AcceleratorConfig,
+    cache_aware_total_bytes,
+    point_to_point_time,
+    ring_allreduce_time,
+    ring_allreduce_wire_bytes,
+    roofline_throughput,
+    roofline_time,
+    tile_size,
+    tiled_matmul_bytes,
+)
+from repro.symbolic import symbols
+
+b, h = symbols("b h")
+
+
+class TestAccelerator:
+    def test_table4_constants(self):
+        assert V100_LIKE.peak_flops == pytest.approx(15.67e12)
+        assert V100_LIKE.peak_bandwidth == pytest.approx(898e9)
+        assert V100_LIKE.cache_bytes == 6 * 1024 * 1024
+        assert V100_LIKE.memory_bytes == 32e9
+        assert V100_LIKE.interconnect_bandwidth == pytest.approx(56e9)
+
+    def test_ridge_points(self):
+        """Paper §5.2: ridge 17.4 FLOP/B, effective 19.9 FLOP/B."""
+        assert V100_LIKE.ridge_point == pytest.approx(17.4, abs=0.1)
+        assert V100_LIKE.effective_ridge_point == pytest.approx(19.9,
+                                                                abs=0.1)
+
+    def test_scaled_copy(self):
+        big = V100_LIKE.scaled(memory_bytes=128 * 10**9)
+        assert big.memory_bytes == 128e9
+        assert big.peak_flops == V100_LIKE.peak_flops
+        assert V100_LIKE.memory_bytes == 32e9  # original untouched
+
+
+class TestRoofline:
+    def test_compute_bound(self):
+        rt = roofline_time(1e15, 1e9, V100_LIKE)
+        assert not rt.memory_bound
+        assert rt.step_time == pytest.approx(1e15 / (0.8 * 15.67e12))
+        assert rt.flop_utilization == pytest.approx(0.8)
+
+    def test_memory_bound(self):
+        rt = roofline_time(1e9, 1e13, V100_LIKE)
+        assert rt.memory_bound
+        assert rt.step_time == pytest.approx(1e13 / (0.7 * 898e9))
+        assert rt.flop_utilization < 0.01
+
+    def test_throughput_caps_at_achievable(self):
+        assert roofline_throughput(1e6, V100_LIKE) == pytest.approx(
+            V100_LIKE.achievable_flops
+        )
+        low = roofline_throughput(1.0, V100_LIKE)
+        assert low == pytest.approx(V100_LIKE.achievable_bandwidth)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            roofline_time(-1, 1, V100_LIKE)
+        with pytest.raises(ValueError):
+            roofline_throughput(-1, V100_LIKE)
+
+
+class TestCacheModel:
+    def test_tile_size_formula(self):
+        # 6 MB / (3 tiles * 4 B) -> t = 724
+        assert tile_size(6 * 1024 * 1024) == 724
+
+    def test_small_matmul_keeps_algorithmic_bytes(self):
+        """Operands that fit in cache are not penalized."""
+        traffic = tiled_matmul_bytes(64, 64, 64, 6 * 2**20)
+        assert traffic.evalf() == 4 * 3 * 64 * 64
+
+    def test_large_matmul_restreams(self):
+        """The word-LM output matmul re-streams inputs (§6.2.3)."""
+        m, k, n = 10_240, 1536, 800_000
+        traffic = tiled_matmul_bytes(m, k, n, 6 * 2**20).evalf()
+        algorithmic = 4 * (m * k + k * n + m * n)
+        assert traffic > 2 * algorithmic
+
+    def test_bigger_cache_reduces_traffic(self):
+        """The paper's recommendation: larger caches cut re-streaming."""
+        m, k, n = 10_240, 4096, 100_000
+        small = tiled_matmul_bytes(m, k, n, 6 * 2**20).evalf()
+        large = tiled_matmul_bytes(m, k, n, 48 * 2**20).evalf()
+        assert large < small
+
+    def test_graph_level_cache_bytes_at_least_algorithmic(self):
+        from repro.models import build_word_lm
+
+        model = build_word_lm(seq_len=4, vocab=5000, layers=1)
+        bind = {model.size_symbol: 256, model.batch: 32}
+        algorithmic = model.graph.total_bytes_accessed().evalf(bind)
+        aware = cache_aware_total_bytes(
+            model.graph, 6 * 2**20
+        ).evalf(bind)
+        assert aware >= algorithmic
+
+    def test_invalid_cache_rejected(self):
+        with pytest.raises(ValueError):
+            tile_size(0)
+
+
+class TestInterconnect:
+    def test_wire_bytes_formula(self):
+        """Patarasuk & Yuan: 2(n-1)/n of the payload."""
+        assert ring_allreduce_wire_bytes(1000, 4) == pytest.approx(1500)
+        assert ring_allreduce_wire_bytes(1000, 2) == pytest.approx(1000)
+
+    def test_single_worker_free(self):
+        assert ring_allreduce_time(1e9, 1, 56e9) == 0.0
+
+    def test_time_saturates_with_workers(self):
+        """Per-worker wire traffic approaches 2x payload: time roughly
+        flat in n (plus latency)."""
+        t16 = ring_allreduce_time(1e9, 16, 56e9, hop_latency=0)
+        t1024 = ring_allreduce_time(1e9, 1024, 56e9, hop_latency=0)
+        assert t1024 / t16 < 1.1
+        assert t1024 > t16  # but still monotone
+
+    def test_latency_matters_for_small_messages(self):
+        with_lat = ring_allreduce_time(100, 64, 56e9)
+        without = ring_allreduce_time(100, 64, 56e9, hop_latency=0)
+        assert with_lat > without
+
+    def test_point_to_point(self):
+        t = point_to_point_time(56e9, 56e9, hop_latency=0)
+        assert t == pytest.approx(1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            ring_allreduce_time(1e9, 0, 56e9)
+        with pytest.raises(ValueError):
+            ring_allreduce_time(1e9, 4, 0)
+        with pytest.raises(ValueError):
+            point_to_point_time(1.0, 0)

@@ -1,0 +1,79 @@
+"""Property-based tests for the hardware models (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import (
+    V100_LIKE,
+    ring_allreduce_time,
+    ring_allreduce_wire_bytes,
+    roofline_throughput,
+    roofline_time,
+    tile_size,
+    tiled_matmul_bytes,
+)
+
+positive = st.floats(min_value=1e3, max_value=1e18, allow_nan=False)
+dims = st.integers(min_value=1, max_value=100_000)
+caches = st.integers(min_value=1024, max_value=2**30)
+workers = st.integers(min_value=2, max_value=65536)
+
+
+@given(positive, positive)
+@settings(max_examples=100, deadline=None)
+def test_roofline_is_max_of_bounds(flops, byts):
+    rt = roofline_time(flops, byts, V100_LIKE)
+    assert rt.step_time == max(rt.compute_time, rt.memory_time)
+    assert rt.flop_utilization <= V100_LIKE.compute_efficiency + 1e-12
+
+
+@given(positive)
+@settings(max_examples=100, deadline=None)
+def test_roofline_throughput_capped_and_monotone(intensity_seed):
+    intensity = intensity_seed / 1e6
+    low = roofline_throughput(intensity, V100_LIKE)
+    high = roofline_throughput(intensity * 2, V100_LIKE)
+    assert low <= high <= V100_LIKE.achievable_flops + 1e-6
+
+
+@given(dims, dims, dims, caches)
+@settings(max_examples=100, deadline=None)
+def test_tiled_traffic_at_least_algorithmic(m, k, n, cache):
+    traffic = tiled_matmul_bytes(m, k, n, cache).evalf()
+    algorithmic = 4 * (m * k + k * n + m * n)
+    assert traffic >= algorithmic - 1e-6
+
+
+@given(dims, dims, dims, caches)
+@settings(max_examples=100, deadline=None)
+def test_bigger_cache_never_hurts(m, k, n, cache):
+    small = tiled_matmul_bytes(m, k, n, cache).evalf()
+    big = tiled_matmul_bytes(m, k, n, cache * 4).evalf()
+    assert big <= small + 1e-6
+
+
+@given(caches)
+@settings(max_examples=100, deadline=None)
+def test_tile_fits_in_cache(cache):
+    t = tile_size(cache)
+    assert t >= 1
+    # three tiles resident must fit (up to integer truncation slack)
+    assert 3 * t * t * 4 <= cache or t == 1
+
+
+@given(positive, workers)
+@settings(max_examples=100, deadline=None)
+def test_allreduce_wire_bytes_bounds(payload, n):
+    wire = ring_allreduce_wire_bytes(payload, n)
+    assert payload <= wire < 2 * payload
+
+
+@given(positive, workers, workers)
+@settings(max_examples=100, deadline=None)
+def test_allreduce_monotone_in_workers(payload, n1, n2):
+    lo, hi = min(n1, n2), max(n1, n2)
+    t_lo = ring_allreduce_time(payload, lo, 56e9)
+    t_hi = ring_allreduce_time(payload, hi, 56e9)
+    assert t_hi >= t_lo - 1e-12

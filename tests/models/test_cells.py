@@ -1,0 +1,131 @@
+"""Tests for the recurrent cell builders (LSTM/RHN/GRU)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, build_training_step, validate_graph
+from repro.models import (
+    bidirectional_lstm_layer,
+    gru_layer,
+    lstm_layer,
+    make_gru_weights,
+    make_lstm_weights,
+    make_rhn_weights,
+    rhn_step,
+)
+from repro.models.cells import zeros_like_state
+from repro.ops import matmul, reduce_mean, reduce_sum
+from repro.symbolic import asymptotic_ratio, coefficient, symbols
+
+b, h = symbols("b h")
+
+
+def _sequence_inputs(g, steps):
+    return [g.input(f"x{t}", (b, h)) for t in range(steps)]
+
+
+def _loss(g, t):
+    return reduce_mean(g, reduce_sum(g, t, [1]), [0])
+
+
+class TestLSTMCell:
+    def test_step_flops_16h2_per_layer_step(self):
+        """The §4.2 anchor: one LSTM step costs ~16·b·h² FLOPs."""
+        g = Graph()
+        xs = _sequence_inputs(g, 1)
+        w = make_lstm_weights(g, h, h)
+        out = lstm_layer(g, xs, w, b)[0]
+        matmul_flops = sum(
+            (op.flops() for op in g.ops if op.kind == "matmul"),
+            start=g.total_flops() * 0,
+        )
+        assert matmul_flops == 16 * b * h * h
+
+    def test_layer_params_8h2(self):
+        g = Graph()
+        w = make_lstm_weights(g, h, h)
+        assert g.parameter_count() == 8 * h * h + 4 * h
+
+    def test_bidirectional_doubles_params_and_width(self):
+        g = Graph()
+        xs = _sequence_inputs(g, 2)
+        fwd = make_lstm_weights(g, h, h, name="f")
+        bwd = make_lstm_weights(g, h, h, name="bk")
+        outs = bidirectional_lstm_layer(g, xs, fwd, bwd, b)
+        assert tuple(outs[0].shape) == (b, 2 * h)
+        assert g.parameter_count() == 2 * (8 * h * h + 4 * h)
+
+    def test_reverse_layer_preserves_order(self):
+        g = Graph()
+        xs = _sequence_inputs(g, 3)
+        w = make_lstm_weights(g, h, h)
+        outs = lstm_layer(g, xs, w, b, reverse=True)
+        assert len(outs) == 3
+
+    def test_projection_shrinks_state(self):
+        g = Graph()
+        xs = _sequence_inputs(g, 2)
+        w = make_lstm_weights(g, h, h, projection=h / 4)
+        outs = lstm_layer(g, xs, w, b)
+        assert outs[0].shape[1] == h / 4
+
+
+class TestRHNCell:
+    def test_depth_controls_params(self):
+        g = Graph()
+        make_rhn_weights(g, h, h, depth=3)
+        # 3 sublayers x (2 matrices + 2 biases) + first-layer inputs
+        assert g.parameter_count() == 3 * (2 * h * h + 2 * h) + 2 * h * h
+
+    def test_step_threads_state_through_sublayers(self):
+        g = Graph()
+        x = g.input("x", (b, h))
+        subs = make_rhn_weights(g, h, h, depth=2)
+        s0 = zeros_like_state(g, b, h)
+        s1 = rhn_step(g, x, s0, subs)
+        assert tuple(s1.shape) == (b, h)
+        validate_graph(g)
+
+
+class TestGRUCell:
+    def test_params_6h2(self):
+        g = Graph()
+        make_gru_weights(g, h, h)
+        assert g.parameter_count() == 6 * h * h
+
+    def test_gamma_approaches_6q(self):
+        q = 5
+        g = Graph()
+        xs = _sequence_inputs(g, q)
+        w = make_gru_weights(g, h, h)
+        outs = gru_layer(g, xs, w, b)
+        loss = _loss(g, outs[-1])
+        build_training_step(g, loss)
+        gamma = asymptotic_ratio(
+            coefficient(g.total_flops(), b, 1), g.parameter_count(), h
+        ).evalf()
+        assert abs(gamma - 6 * q) < 0.2 * 6 * q
+
+    def test_executes_and_trains(self):
+        from repro.graph import differentiate
+        from repro.runtime import execute_graph
+
+        g = Graph()
+        xs = _sequence_inputs(g, 3)
+        w = make_gru_weights(g, h, h)
+        outs = gru_layer(g, xs, w, b)
+        loss = _loss(g, outs[-1])
+        grads = differentiate(g, loss)
+        res = execute_graph(g, bindings={b: 2, h: 4}, seed=0)
+        assert np.isfinite(float(res[loss]))
+        for grad in grads.values():
+            assert np.isfinite(res[grad.name]).all()
+
+    def test_gradient_check(self):
+        from ..helpers import gradient_check
+
+        g = Graph()
+        xs = _sequence_inputs(g, 2)
+        w = make_gru_weights(g, h, h)
+        outs = gru_layer(g, xs, w, b)
+        gradient_check(g, _loss(g, outs[-1]), {b: 2, h: 3})

@@ -1,0 +1,142 @@
+"""Tests for char LM, NMT, speech, and ResNet builders."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import StepCounts
+from repro.graph import validate_graph
+from repro.models import (
+    RESNET_BLOCKS,
+    build_char_rhn,
+    build_nmt,
+    build_resnet,
+    build_speech,
+    char_rhn_params,
+)
+from repro.runtime import execute_graph
+from repro.symbolic import asymptotic_ratio
+
+
+class TestCharRHN:
+    def test_param_oracle(self):
+        m = build_char_rhn(seq_len=4, vocab=30, depth=3, training=False)
+        assert m.graph.parameter_count() == char_rhn_params(
+            m.size_symbol, 3, 30
+        )
+
+    def test_gamma_approaches_6q(self):
+        q = 6
+        m = build_char_rhn(seq_len=q, vocab=30, depth=3)
+        counts = StepCounts(m)
+        gamma = asymptotic_ratio(counts.flops_per_sample, counts.params,
+                                 m.size_symbol).evalf()
+        assert abs(gamma - 6 * q) < 0.25 * 6 * q
+
+    def test_small_vocab_output_share(self):
+        """§2.3: char-LM embedding/output are a small param share."""
+        m = build_char_rhn(seq_len=4, vocab=98, depth=10, training=False)
+        emb = m.graph.find("embedding").num_elements()
+        share = (emb / m.graph.parameter_count()).evalf(
+            {m.size_symbol: 1024}
+        )
+        assert share < 0.01
+
+    def test_runs(self):
+        m = build_char_rhn(seq_len=3, vocab=20, depth=2)
+        res = execute_graph(m.graph,
+                            bindings={m.size_symbol: 8, m.batch: 2})
+        assert np.isfinite(float(res[m.loss]))
+
+
+class TestNMT:
+    def test_validates_and_runs(self):
+        m = build_nmt(seq_len=3, vocab=40)
+        validate_graph(m.graph)
+        res = execute_graph(m.graph,
+                            bindings={m.size_symbol: 8, m.batch: 2})
+        assert np.isfinite(float(res[m.loss]))
+
+    def test_gamma_lowest_of_recurrent_models(self):
+        """§4.2: NMT has the lowest FLOPs/param (γ → 6q, short q)."""
+        q = 5
+        m = build_nmt(seq_len=q, vocab=50)
+        counts = StepCounts(m)
+        gamma = asymptotic_ratio(counts.flops_per_sample, counts.params,
+                                 m.size_symbol).evalf()
+        assert abs(gamma - 6 * q) < 0.3 * 6 * q
+
+    def test_two_embeddings(self):
+        m = build_nmt(seq_len=3, vocab=40, training=False)
+        names = {t.name for t in m.graph.parameters()}
+        assert "src_embedding" in names and "tgt_embedding" in names
+
+
+class TestSpeech:
+    def test_pooling_shrinks_encoder(self):
+        m = build_speech(audio_steps=8, decoder_steps=3, enc_layers=3,
+                         training=False)
+        assert m.meta["audio_steps"] == 8
+        # time pooled 8 -> 4 -> 2 across the 3 layers
+        enc_stack = m.graph.find("enc_stack:out")
+        assert int(enc_stack.shape[1].evalf()) == 2
+
+    def test_validates_and_runs(self):
+        m = build_speech(audio_steps=8, decoder_steps=3, enc_layers=2)
+        validate_graph(m.graph)
+        res = execute_graph(m.graph,
+                            bindings={m.size_symbol: 8, m.batch: 2})
+        assert np.isfinite(float(res[m.loss]))
+
+    def test_encoder_dominates_compute(self):
+        """§2.5: most computation occurs in the encoder layers."""
+        m = build_speech(audio_steps=16, decoder_steps=4, enc_layers=3)
+        enc_flops = sum(
+            op.flops().evalf({m.size_symbol: 64, m.batch: 4})
+            for op in m.graph.ops if "enc" in op.name
+        )
+        total = m.graph.total_flops().evalf(
+            {m.size_symbol: 64, m.batch: 4}
+        )
+        assert enc_flops / total > 0.5
+
+
+class TestResNet:
+    def test_known_resnet50_param_count(self):
+        """ResNet-50 has ~25.5M parameters at width 1."""
+        m = build_resnet(depth=50, width=1, training=False)
+        params = m.graph.parameter_count().evalf()
+        assert 23e6 < params < 28e6
+
+    def test_depth_variants_grow(self):
+        params = {}
+        for depth in (18, 34, 50):
+            m = build_resnet(depth=depth, width=1, training=False)
+            params[depth] = m.graph.parameter_count().evalf()
+        assert params[18] < params[34] < params[50]
+
+    def test_width_scales_params_quadratically(self):
+        m = build_resnet(depth=18, training=False)
+        p1 = m.graph.parameter_count().evalf({m.size_symbol: 1})
+        p2 = m.graph.parameter_count().evalf({m.size_symbol: 2})
+        assert 3.3 < p2 / p1 < 4.05
+
+    def test_unsupported_depth_rejected(self):
+        with pytest.raises(ValueError):
+            build_resnet(depth=42)
+
+    def test_tiny_config_runs(self):
+        m = build_resnet(depth=18, width=0.125, image_size=16,
+                         classes=10)
+        res = execute_graph(m.graph, bindings={m.batch: 2}, seed=0)
+        assert np.isfinite(float(res[m.loss]))
+
+    def test_tiny_lambda(self):
+        """§4.3: CNN weight traffic per param is tiny vs RNNs."""
+        m = build_resnet(depth=50, image_size=32)
+        counts = StepCounts(m)
+        lam = asymptotic_ratio(counts.bytes_fixed, counts.params,
+                               m.size_symbol).evalf()
+        assert lam < 100
+
+    def test_supported_depths_table(self):
+        assert set(RESNET_BLOCKS) == {18, 34, 50, 101, 152}

@@ -1,0 +1,39 @@
+"""Tests for the domain registry and shared symbolic model cache."""
+
+import pytest
+
+from repro.models import DOMAINS, build_symbolic, get_domain
+
+
+class TestRegistry:
+    def test_five_paper_domains(self):
+        assert set(DOMAINS) == {"word_lm", "char_lm", "nmt", "speech",
+                                "image"}
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(KeyError):
+            get_domain("transformer")
+
+    def test_sweep_sizes_sorted(self):
+        for entry in DOMAINS.values():
+            sizes = list(entry.sweep_sizes)
+            assert sizes == sorted(sizes)
+            assert len(sizes) >= 5
+
+    def test_paper_subbatches(self):
+        """Table 3's chosen subbatch sizes."""
+        assert DOMAINS["word_lm"].subbatch == 128
+        assert DOMAINS["char_lm"].subbatch == 96
+        assert DOMAINS["nmt"].subbatch == 96
+        assert DOMAINS["speech"].subbatch == 128
+        assert DOMAINS["image"].subbatch == 32
+
+    def test_build_symbolic_memoized(self):
+        m1 = build_symbolic("image")
+        m2 = build_symbolic("image")
+        assert m1 is m2
+
+    def test_build_model_with_overrides(self):
+        m = get_domain("word_lm").build_model(seq_len=4, vocab=50,
+                                              training=False)
+        assert m.meta["seq_len"] == 4

@@ -1,0 +1,110 @@
+"""Tests for the word LM: parameter oracle, asymptotics, execution."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import StepCounts
+from repro.graph import validate_graph
+from repro.models import build_word_lm, word_lm_params
+from repro.runtime import execute_graph
+from repro.symbolic import asymptotic_ratio, coefficient
+
+
+class TestStructure:
+    def test_param_count_matches_oracle(self):
+        m = build_word_lm(seq_len=8, vocab=500, layers=2, training=False)
+        assert m.graph.parameter_count() == word_lm_params(
+            m.size_symbol, 2, 500
+        )
+
+    def test_param_count_with_projection(self):
+        m = build_word_lm(seq_len=8, vocab=500, layers=2, projection=32,
+                          training=False)
+        assert m.graph.parameter_count() == word_lm_params(
+            m.size_symbol, 2, 500, projection=32
+        )
+
+    def test_validates(self):
+        m = build_word_lm(seq_len=6, vocab=100)
+        validate_graph(m.graph)
+
+    def test_concrete_hidden(self):
+        m = build_word_lm(hidden=32, seq_len=4, vocab=50, training=False)
+        assert m.size_symbol is None
+        assert float(m.graph.parameter_count().evalf()) == float(
+            word_lm_params(32, 2, 50).evalf()
+        )
+
+    def test_dominant_weight_is_embedding_for_big_vocab(self):
+        """§2.3: the embedding dominates weight footprint."""
+        m = build_word_lm(seq_len=4, vocab=100_000, training=False)
+        table = m.graph.find("embedding")
+        share = (table.num_elements() / m.graph.parameter_count()).evalf(
+            {m.size_symbol: 512}
+        )
+        assert share > 0.4
+
+
+class TestAsymptotics:
+    def test_flops_per_param_approaches_6q(self):
+        """The paper's γ → 6q anchor (§4.2): 481 at q=80."""
+        q = 10
+        m = build_word_lm(seq_len=q, vocab=200)
+        counts = StepCounts(m)
+        gamma = asymptotic_ratio(counts.flops_per_sample, counts.params,
+                                 m.size_symbol).evalf()
+        assert abs(gamma - 6 * q) < 0.2 * 6 * q
+
+    def test_fixed_flops_from_update_and_grad_accumulation(self):
+        """Batch-independent FLOPs: the 2-FLOP/param SGD update plus
+        the (q-1) weight-gradient accumulation adds per shared matrix."""
+        m = build_word_lm(seq_len=4, vocab=100)
+        counts = StepCounts(m)
+        ratio = asymptotic_ratio(counts.flops_fixed, counts.params,
+                                 m.size_symbol).evalf()
+        # 2 (update) + (q-1) adds on the recurrent-matrix share
+        assert ratio == pytest.approx(2.0 + 3.0)
+
+    def test_weight_traffic_scales_with_unroll(self):
+        """λ grows with q: weights re-read every unrolled step (§4.3)."""
+        lams = []
+        for q in (4, 8):
+            m = build_word_lm(seq_len=q, vocab=100)
+            counts = StepCounts(m)
+            lam = asymptotic_ratio(counts.bytes_fixed, counts.params,
+                                   m.size_symbol).evalf()
+            lams.append(lam)
+        assert 1.7 < lams[1] / lams[0] < 2.2
+
+
+class TestProjectionVariant:
+    def test_projection_cuts_flops(self):
+        """The §6.1 algorithmic optimization reduces per-step FLOPs."""
+        base = build_word_lm(hidden=64, seq_len=6, vocab=2000,
+                             training=False)
+        proj = build_word_lm(hidden=64, seq_len=6, vocab=2000,
+                             projection=16, training=False)
+        fl_base = base.graph.total_flops().evalf({base.batch: 8})
+        fl_proj = proj.graph.total_flops().evalf({proj.batch: 8})
+        assert fl_proj < 0.6 * fl_base
+
+
+class TestExecution:
+    def test_training_step_runs_and_loss_finite(self):
+        m = build_word_lm(seq_len=4, vocab=30, layers=2)
+        bindings = {m.size_symbol: 8, m.batch: 2}
+        res = execute_graph(m.graph, bindings=bindings, seed=1)
+        assert np.isfinite(float(res[m.loss]))
+
+    def test_projection_variant_runs(self):
+        m = build_word_lm(seq_len=3, vocab=30, layers=2, projection=4)
+        bindings = {m.size_symbol: 8, m.batch: 2}
+        res = execute_graph(m.graph, bindings=bindings, seed=1)
+        assert np.isfinite(float(res[m.loss]))
+
+    def test_word_lm_end_to_end_gradients(self):
+        from ..helpers import gradient_check
+
+        m = build_word_lm(seq_len=3, vocab=12, layers=1, training=False)
+        gradient_check(m.graph, m.loss,
+                       {m.size_symbol: 4, m.batch: 2}, tol=5e-4)

@@ -1,0 +1,148 @@
+"""Unit tests for conv2d, pooling, and batch norm."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+from repro.ops import avg_pool1d, batch_norm, conv2d, max_pool2d
+from repro.runtime import execute_graph
+from repro.symbolic import symbols
+
+b, c, d = symbols("b c d")
+
+
+class TestConvAccounting:
+    def test_flops_formula(self):
+        """2 * kh*kw*cin * cout * ho*wo * b, channels symbolic."""
+        g = Graph()
+        x = g.input("x", (b, 8, 8, c))
+        w = g.parameter("w", (3, 3, c, d))
+        conv2d(g, x, w, stride=1, padding="same")
+        assert g.ops[0].flops() == 2 * 9 * c * d * 64 * b
+
+    def test_strided_output_shape_same(self):
+        g = Graph()
+        x = g.input("x", (b, 7, 7, c))
+        w = g.parameter("w", (3, 3, c, d))
+        out = conv2d(g, x, w, stride=2, padding="same")
+        assert tuple(int(s.evalf()) for s in out.shape[1:3]) == (4, 4)
+
+    def test_valid_output_shape(self):
+        g = Graph()
+        x = g.input("x", (b, 7, 7, c))
+        w = g.parameter("w", (3, 3, c, d))
+        out = conv2d(g, x, w, stride=1, padding="valid")
+        assert tuple(int(s.evalf()) for s in out.shape[1:3]) == (5, 5)
+
+    def test_channel_mismatch_rejected(self):
+        g = Graph()
+        x = g.input("x", (b, 7, 7, 4))
+        w = g.parameter("w", (3, 3, 5, 8))
+        out = conv2d(g, x, w)
+        with pytest.raises(ValueError):
+            g.ops[-1].validate()
+
+    def test_weight_reuse_drives_flops_per_param(self):
+        """Conv FLOPs/param = 2·b·ho·wo — the spatial reuse behind
+        ResNet's γ ≈ 1111 (paper §4.2)."""
+        g = Graph()
+        x = g.input("x", (b, 14, 14, c))
+        w = g.parameter("w", (3, 3, c, c))
+        conv2d(g, x, w)
+        ratio = g.ops[0].flops() / w.num_elements()
+        assert ratio == 2 * b * 14 * 14
+
+
+class TestConvExecution:
+    def test_identity_kernel(self):
+        g = Graph()
+        x = g.input("x", (1, 4, 4, 1))
+        w = g.parameter("w", (1, 1, 1, 1))
+        out = conv2d(g, x, w)
+        xa = np.arange(16, dtype=np.float64).reshape(1, 4, 4, 1)
+        res = execute_graph(g, {"x": xa}, params={"w": np.ones((1, 1, 1, 1))})
+        np.testing.assert_allclose(res[out], xa)
+
+    def test_same_padding_3x3_sum_kernel(self):
+        g = Graph()
+        x = g.input("x", (1, 3, 3, 1))
+        w = g.parameter("w", (3, 3, 1, 1))
+        out = conv2d(g, x, w, padding="same")
+        xa = np.ones((1, 3, 3, 1))
+        res = execute_graph(g, {"x": xa},
+                            params={"w": np.ones((3, 3, 1, 1))})
+        # center sees 9 ones; corners see 4; edges see 6
+        expected = np.array([[4, 6, 4], [6, 9, 6], [4, 6, 4]],
+                            dtype=np.float64)
+        np.testing.assert_allclose(res[out][0, :, :, 0], expected)
+
+    def test_stride_subsamples(self):
+        g = Graph()
+        x = g.input("x", (1, 4, 4, 1))
+        w = g.parameter("w", (1, 1, 1, 1))
+        out = conv2d(g, x, w, stride=2, padding="valid")
+        xa = np.arange(16, dtype=np.float64).reshape(1, 4, 4, 1)
+        res = execute_graph(g, {"x": xa},
+                            params={"w": np.ones((1, 1, 1, 1))})
+        np.testing.assert_allclose(res[out][0, :, :, 0],
+                                   xa[0, ::2, ::2, 0])
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        g = Graph()
+        x = g.input("x", (1, 4, 4, 1))
+        out = max_pool2d(g, x, window=2, stride=2, padding="valid")
+        xa = np.arange(16, dtype=np.float64).reshape(1, 4, 4, 1)
+        res = execute_graph(g, {"x": xa})
+        np.testing.assert_allclose(
+            res[out][0, :, :, 0], [[5, 7], [13, 15]]
+        )
+
+    def test_avg_pool1d_halves_time(self):
+        g = Graph()
+        x = g.input("x", (b, 6, c))
+        out = avg_pool1d(g, x, window=2, stride=2)
+        assert int(out.shape[1].evalf()) == 3
+
+    def test_avg_pool1d_values(self):
+        g = Graph()
+        x = g.input("x", (1, 4, 2))
+        out = avg_pool1d(g, x, window=2, stride=2)
+        xa = np.array([[[0, 10], [2, 20], [4, 40], [6, 60]]],
+                      dtype=np.float64)
+        res = execute_graph(g, {"x": xa})
+        np.testing.assert_allclose(res[out],
+                                   [[[1, 15], [5, 50]]])
+
+
+class TestBatchNorm:
+    def test_creates_two_channel_params(self):
+        g = Graph()
+        x = g.input("x", (b, 4, 4, c))
+        batch_norm(g, x)
+        assert g.parameter_count() == 2 * c
+
+    def test_normalizes_statistics(self):
+        g = Graph()
+        x = g.input("x", (4, 3, 3, 2))
+        out = batch_norm(g, x)
+        rng = np.random.default_rng(0)
+        xa = rng.standard_normal((4, 3, 3, 2)) * 5 + 7
+        res = execute_graph(
+            g, {"x": xa},
+            params={g.parameters()[0].name: np.ones(2),
+                    g.parameters()[1].name: np.zeros(2)},
+        )
+        got = res[out]
+        np.testing.assert_allclose(got.mean(axis=(0, 1, 2)), 0.0,
+                                   atol=1e-6)
+        np.testing.assert_allclose(got.std(axis=(0, 1, 2)), 1.0,
+                                   atol=1e-3)
+
+    def test_flops_linear_in_elements(self):
+        g = Graph()
+        x = g.input("x", (b, 4, 4, c))
+        batch_norm(g, x)
+        bn = [op for op in g.ops if op.kind == "batch_norm"][0]
+        assert bn.flops() == 8 * 16 * b * c

@@ -1,0 +1,109 @@
+"""Unit tests for dense/batched matmul accounting and kernels."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+from repro.ops import batch_matmul, matmul
+from repro.runtime import execute_graph
+from repro.symbolic import symbols
+
+b, h, v = symbols("b h v")
+
+
+class TestMatmulAccounting:
+    def test_flops_formula(self):
+        g = Graph()
+        x = g.input("x", (b, h))
+        w = g.parameter("w", (h, v))
+        matmul(g, x, w)
+        assert g.ops[0].flops() == 2 * b * h * v
+
+    def test_flops_with_transposes(self):
+        g = Graph()
+        x = g.input("x", (h, b))
+        w = g.parameter("w", (v, h))
+        matmul(g, x, w, transpose_a=True, transpose_b=True)
+        assert g.ops[0].flops() == 2 * b * h * v
+
+    def test_bytes_formula(self):
+        g = Graph()
+        x = g.input("x", (b, h))
+        w = g.parameter("w", (h, v))
+        matmul(g, x, w)
+        assert g.ops[0].bytes_accessed() == 4 * (b * h + h * v + b * v)
+
+    def test_operational_intensity_form(self):
+        """Intensity of (b x k)(k x k) is b*k/(2k + ... ) -> paper form."""
+        g = Graph()
+        x = g.input("x", (b, h))
+        w = g.parameter("w", (h, h))
+        matmul(g, x, w)
+        op = g.ops[0]
+        intensity = op.flops() / op.bytes_accessed()
+        # at b=1, k->inf the ratio approaches b/2 = 0.5
+        val = intensity.evalf({b: 1, h: 1e9})
+        assert abs(val - 0.5) < 1e-3
+
+    def test_rank_validation(self):
+        g = Graph()
+        x = g.input("x", (b, h, h))
+        w = g.parameter("w", (h, v))
+        with pytest.raises(Exception):
+            out = matmul(g, x, w)
+            g.ops[-1].validate()
+
+
+class TestMatmulExecution:
+    def test_plain(self):
+        g = Graph()
+        x = g.input("x", (2, 3))
+        w = g.parameter("w", (3, 4))
+        out = matmul(g, x, w)
+        xa = np.arange(6, dtype=np.float64).reshape(2, 3)
+        wa = np.arange(12, dtype=np.float64).reshape(3, 4)
+        res = execute_graph(g, {"x": xa}, params={"w": wa})
+        np.testing.assert_allclose(res[out], xa @ wa)
+
+    @pytest.mark.parametrize("ta,tb", [(True, False), (False, True),
+                                       (True, True)])
+    def test_transposed(self, ta, tb):
+        g = Graph()
+        x = g.input("x", (3, 2) if ta else (2, 3))
+        w = g.parameter("w", (4, 3) if tb else (3, 4))
+        out = matmul(g, x, w, transpose_a=ta, transpose_b=tb)
+        rng = np.random.default_rng(0)
+        xa = rng.standard_normal((3, 2) if ta else (2, 3))
+        wa = rng.standard_normal((4, 3) if tb else (3, 4))
+        res = execute_graph(g, {"x": xa}, params={"w": wa})
+        expected = (xa.T if ta else xa) @ (wa.T if tb else wa)
+        np.testing.assert_allclose(res[out], expected)
+
+
+class TestBatchMatmul:
+    def test_flops(self):
+        g = Graph()
+        a = g.input("a", (b, 1, h))
+        c = g.input("c", (b, h, v))
+        batch_matmul(g, a, c)
+        assert g.ops[0].flops() == 2 * b * h * v
+
+    def test_execute_attention_pattern(self):
+        """scores = q @ keys^T, the attention score computation."""
+        g = Graph()
+        q = g.input("q", (2, 1, 4))
+        k = g.input("k", (2, 5, 4))
+        out = batch_matmul(g, q, k, transpose_b=True)
+        rng = np.random.default_rng(1)
+        qa = rng.standard_normal((2, 1, 4))
+        ka = rng.standard_normal((2, 5, 4))
+        res = execute_graph(g, {"q": qa, "k": ka})
+        np.testing.assert_allclose(res[out], qa @ ka.transpose(0, 2, 1))
+
+    def test_batch_dim_mismatch_rejected(self):
+        g = Graph()
+        a = g.input("a", (2, 1, 4))
+        c = g.input("c", (3, 4, 5))
+        out = batch_matmul(g, a, c)
+        with pytest.raises(ValueError):
+            g.ops[-1].validate()

@@ -1,0 +1,105 @@
+"""Property-based tests of op kernels against numpy ground truth."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Graph
+from repro.ops import (
+    concat,
+    matmul,
+    reduce_mean,
+    reduce_sum,
+    reshape,
+    softmax,
+    split,
+    transpose,
+)
+from repro.runtime import execute_graph
+
+dims = st.integers(min_value=1, max_value=6)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def _rand(shape, seed):
+    return np.random.default_rng(seed).standard_normal(shape)
+
+
+@given(dims, dims, dims, seeds)
+@settings(max_examples=60, deadline=None)
+def test_matmul_matches_numpy(m, k, n, seed):
+    g = Graph()
+    a = g.input("a", (m, k))
+    c = g.input("c", (k, n))
+    out = matmul(g, a, c)
+    aa, ca = _rand((m, k), seed), _rand((k, n), seed + 1)
+    res = execute_graph(g, {"a": aa, "c": ca})
+    np.testing.assert_allclose(res[out], aa @ ca, rtol=1e-9)
+    # symbolic flop count matches the multiply-add count exactly
+    assert g.total_flops().evalf() == 2 * m * k * n
+
+
+@given(dims, dims, st.integers(2, 4), seeds)
+@settings(max_examples=60, deadline=None)
+def test_split_concat_roundtrip(rows, part, parts, seed):
+    g = Graph()
+    x = g.input("x", (rows, part * parts))
+    pieces = split(g, x, [part] * parts, axis=1)
+    out = concat(g, pieces, axis=1)
+    xa = _rand((rows, part * parts), seed)
+    res = execute_graph(g, {"x": xa})
+    np.testing.assert_allclose(res[out], xa)
+
+
+@given(dims, dims, seeds)
+@settings(max_examples=60, deadline=None)
+def test_reduce_sum_then_mean_matches_numpy(m, n, seed):
+    g = Graph()
+    x = g.input("x", (m, n))
+    total = reduce_sum(g, x, [1])
+    mean = reduce_mean(g, total, [0])
+    xa = _rand((m, n), seed)
+    res = execute_graph(g, {"x": xa})
+    np.testing.assert_allclose(res[total], xa.sum(axis=1), rtol=1e-9)
+    np.testing.assert_allclose(res[mean], xa.sum(axis=1).mean(),
+                               rtol=1e-9)
+
+
+@given(dims, dims, seeds)
+@settings(max_examples=60, deadline=None)
+def test_transpose_reshape_preserve_data(m, n, seed):
+    g = Graph()
+    x = g.input("x", (m, n))
+    out = reshape(g, transpose(g, x, (1, 0)), (m * n,))
+    xa = _rand((m, n), seed)
+    res = execute_graph(g, {"x": xa})
+    np.testing.assert_allclose(res[out], xa.T.reshape(-1))
+
+
+@given(dims, st.integers(2, 6), seeds)
+@settings(max_examples=60, deadline=None)
+def test_softmax_is_a_distribution(m, n, seed):
+    g = Graph()
+    x = g.input("x", (m, n))
+    out = softmax(g, x)
+    xa = _rand((m, n), seed) * 10
+    res = execute_graph(g, {"x": xa})
+    probs = res[out]
+    assert (probs >= 0).all()
+    np.testing.assert_allclose(probs.sum(axis=-1), 1.0, rtol=1e-6)
+    # order preserved: argmax of logits == argmax of probs
+    np.testing.assert_array_equal(probs.argmax(axis=-1),
+                                  xa.argmax(axis=-1))
+
+
+@given(dims, dims, seeds)
+@settings(max_examples=40, deadline=None)
+def test_bytes_accessed_scale_with_dtype(m, n, seed):
+    g4 = Graph(default_dtype_bytes=4)
+    x4 = g4.input("x", (m, n))
+    softmax(g4, x4)
+    g2 = Graph(default_dtype_bytes=2)
+    x2 = g2.input("x", (m, n))
+    softmax(g2, x2)
+    assert g4.total_bytes_accessed().evalf() == \
+        2 * g2.total_bytes_accessed().evalf()

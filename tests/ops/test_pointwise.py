@@ -1,0 +1,124 @@
+"""Unit tests for pointwise op accounting and numpy kernels."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+from repro.ops import (
+    add,
+    multiply,
+    one_minus,
+    relu,
+    scale,
+    sigmoid,
+    subtract,
+    tanh,
+)
+from repro.runtime import execute_graph
+from repro.symbolic import symbols
+
+b, h = symbols("b h")
+
+
+class TestAccounting:
+    def test_binary_flops_one_per_element(self):
+        g = Graph()
+        x = g.input("x", (b, h))
+        y = g.input("y", (b, h))
+        add(g, x, y)
+        assert g.ops[0].flops() == b * h
+
+    def test_activation_flop_costs_ordered(self):
+        """relu < sigmoid < tanh per-element cost (TFprof-style)."""
+        g = Graph()
+        x = g.input("x", (b, h))
+        relu(g, x)
+        sigmoid(g, x)
+        tanh(g, x)
+        costs = [op.flops() for op in g.ops]
+        vals = [c.evalf({b: 1, h: 1}) for c in costs]
+        assert vals[0] < vals[1] < vals[2]
+
+    def test_bytes_read_inputs_write_outputs(self):
+        g = Graph()
+        x = g.input("x", (b, h))
+        y = g.input("y", (b, h))
+        add(g, x, y)
+        assert g.ops[0].bytes_accessed() == 12 * b * h
+
+
+class TestBroadcastRules:
+    def test_vector_bias_allowed(self):
+        g = Graph()
+        x = g.input("x", (b, h))
+        bias = g.parameter("bias", (h,))
+        out = add(g, x, bias)
+        assert tuple(out.shape) == (b, h)
+
+    def test_incompatible_broadcast_rejected(self):
+        g = Graph()
+        x = g.input("x", (b, h))
+        y = g.input("y", (h, b))
+        with pytest.raises(ValueError):
+            add(g, x, y)
+
+    def test_vector_must_match_trailing_dim(self):
+        g = Graph()
+        x = g.input("x", (b, h))
+        y = g.input("y", (b,))
+        with pytest.raises(ValueError):
+            add(g, x, y)
+
+
+class TestExecution:
+    def _run(self, builder, xa):
+        g = Graph()
+        x = g.input("x", xa.shape)
+        out = builder(g, x)
+        return execute_graph(g, {"x": xa})[out]
+
+    def test_sigmoid_values(self):
+        xa = np.array([[-1.0, 0.0, 1.0]])
+        got = self._run(lambda g, x: sigmoid(g, x), xa)
+        np.testing.assert_allclose(got, 1 / (1 + np.exp(-xa)), rtol=1e-6)
+
+    def test_tanh_values(self):
+        xa = np.linspace(-2, 2, 6).reshape(2, 3)
+        got = self._run(lambda g, x: tanh(g, x), xa)
+        np.testing.assert_allclose(got, np.tanh(xa), rtol=1e-6)
+
+    def test_relu_values(self):
+        xa = np.array([[-1.0, 0.5]])
+        got = self._run(lambda g, x: relu(g, x), xa)
+        np.testing.assert_allclose(got, [[0.0, 0.5]])
+
+    def test_scale_and_one_minus(self):
+        xa = np.array([[0.25, 0.75]])
+        got = self._run(lambda g, x: scale(g, x, -2.0), xa)
+        np.testing.assert_allclose(got, -2.0 * xa)
+        got = self._run(lambda g, x: one_minus(g, x), xa)
+        np.testing.assert_allclose(got, 1.0 - xa)
+
+    def test_binary_ops(self):
+        g = Graph()
+        x = g.input("x", (2, 2))
+        y = g.input("y", (2, 2))
+        s = add(g, x, y)
+        d = subtract(g, x, y)
+        p = multiply(g, x, y)
+        xa = np.array([[1.0, 2.0], [3.0, 4.0]])
+        ya = np.array([[5.0, 6.0], [7.0, 8.0]])
+        res = execute_graph(g, {"x": xa, "y": ya})
+        np.testing.assert_allclose(res[s], xa + ya)
+        np.testing.assert_allclose(res[d], xa - ya)
+        np.testing.assert_allclose(res[p], xa * ya)
+
+    def test_bias_broadcast_execution(self):
+        g = Graph()
+        x = g.input("x", (2, 3))
+        bias = g.parameter("bias", (3,))
+        out = add(g, x, bias)
+        xa = np.zeros((2, 3))
+        ba = np.array([1.0, 2.0, 3.0])
+        res = execute_graph(g, {"x": xa}, params={"bias": ba})
+        np.testing.assert_allclose(res[out], np.tile(ba, (2, 1)))

@@ -1,0 +1,156 @@
+"""Unit tests for shape ops and embedding lookup."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+from repro.ops import concat, embedding_lookup, reshape, split, transpose
+from repro.runtime import execute_graph
+from repro.symbolic import symbols
+
+b, h, v = symbols("b h v")
+
+
+class TestConcatSplit:
+    def test_concat_shape_and_zero_flops(self):
+        g = Graph()
+        x = g.input("x", (b, h))
+        y = g.input("y", (b, 2 * h))
+        out = concat(g, [x, y], axis=1)
+        assert tuple(out.shape) == (b, 3 * h)
+        assert g.ops[0].flops() == 0
+
+    def test_concat_single_passthrough(self):
+        g = Graph()
+        x = g.input("x", (b, h))
+        assert concat(g, [x], axis=0) is x
+
+    def test_concat_mismatched_dims_rejected(self):
+        g = Graph()
+        x = g.input("x", (b, h))
+        y = g.input("y", (h, h))
+        out = concat(g, [x, y], axis=1)
+        with pytest.raises(ValueError):
+            g.ops[-1].validate()
+
+    def test_split_shapes(self):
+        g = Graph()
+        x = g.input("x", (b, 4 * h))
+        parts = split(g, x, [h, h, 2 * h], axis=1)
+        assert [tuple(p.shape) for p in parts] == [
+            (b, h), (b, h), (b, 2 * h)
+        ]
+
+    def test_concat_split_execute_roundtrip(self):
+        g = Graph()
+        x = g.input("x", (2, 6))
+        parts = split(g, x, [2, 4], axis=1)
+        out = concat(g, parts, axis=1)
+        xa = np.arange(12, dtype=np.float64).reshape(2, 6)
+        res = execute_graph(g, {"x": xa})
+        np.testing.assert_allclose(res[out], xa)
+        np.testing.assert_allclose(res[parts[0]], xa[:, :2])
+
+
+class TestReshapeTranspose:
+    def test_reshape_preserves_elements(self):
+        g = Graph()
+        x = g.input("x", (b, 4))
+        out = reshape(g, x, (2, b, 2))
+        assert out.num_elements() == x.num_elements()
+
+    def test_reshape_zero_bytes(self):
+        """Reshape is a metadata view: no data movement counted."""
+        g = Graph()
+        x = g.input("x", (b, 4))
+        reshape(g, x, (4, b))
+        assert g.ops[0].bytes_accessed() == 0
+
+    def test_reshape_bad_elements_rejected(self):
+        g = Graph()
+        x = g.input("x", (b, 4))
+        out = reshape(g, x, (b, 5))
+        with pytest.raises(ValueError):
+            g.ops[-1].validate()
+
+    def test_transpose_execute(self):
+        g = Graph()
+        x = g.input("x", (2, 3, 4))
+        out = transpose(g, x, (2, 0, 1))
+        xa = np.arange(24, dtype=np.float64).reshape(2, 3, 4)
+        res = execute_graph(g, {"x": xa})
+        np.testing.assert_allclose(res[out], xa.transpose(2, 0, 1))
+
+    def test_transpose_invalid_perm_rejected(self):
+        g = Graph()
+        x = g.input("x", (2, 3))
+        out = g.tensor("out", (3, 2))
+        from repro.ops import TransposeOp
+
+        op = TransposeOp("t", x, out, (0, 0))
+        g.add_op(op)
+        with pytest.raises(ValueError):
+            op.validate()
+
+
+class TestEmbedding:
+    def test_zero_flops(self):
+        g = Graph()
+        table = g.parameter("table", (v, h))
+        ids = g.input("ids", (b,))
+        embedding_lookup(g, table, ids)
+        assert g.ops[0].flops() == 0
+
+    def test_bytes_proportional_to_gathered_rows_not_table(self):
+        """The core §2.3 claim: lookups touch rows, not the table."""
+        g = Graph()
+        table = g.parameter("table", (v, h))
+        ids = g.input("ids", (b,))
+        embedding_lookup(g, table, ids)
+        got = g.ops[0].bytes_accessed()
+        # ids (4b) + read rows (4bh) + write out (4bh); independent of v
+        assert got == 4 * b + 8 * b * h
+        assert v not in got.free_symbols()
+
+    def test_execute_gathers_rows(self):
+        g = Graph()
+        table = g.parameter("table", (5, 3))
+        ids = g.input("ids", (4,))
+        ids.int_bound = symbols("five")[0]  # unused; feeds given directly
+        out = embedding_lookup(g, table, ids)
+        ta = np.arange(15, dtype=np.float64).reshape(5, 3)
+        ida = np.array([0, 2, 2, 4])
+        res = execute_graph(g, {"ids": ida}, params={"table": ta})
+        np.testing.assert_allclose(res[out], ta[ida])
+
+    def test_grad_scatter_adds_duplicates(self):
+        """Repeated ids must accumulate their gradients."""
+        from repro.graph import differentiate
+        from repro.ops import reduce_mean, reduce_sum
+
+        g = Graph()
+        table = g.parameter("table", (5, 3))
+        ids = g.input("ids", (4,))
+        out = embedding_lookup(g, table, ids)
+        loss = reduce_mean(g, reduce_sum(g, out, [1]), [0])
+        grads = differentiate(g, loss)
+        ta = np.ones((5, 3))
+        ida = np.array([1, 1, 1, 3])
+        res = execute_graph(g, {"ids": ida}, params={"table": ta})
+        grad = res[grads[table].name]
+        # row 1 receives three contributions of 1/4 each
+        np.testing.assert_allclose(grad[1], [0.75, 0.75, 0.75])
+        np.testing.assert_allclose(grad[3], [0.25, 0.25, 0.25])
+        np.testing.assert_allclose(grad[0], 0.0)
+
+    def test_rank_validation(self):
+        g = Graph()
+        table = g.parameter("table", (v, h, 2))
+        ids = g.input("ids", (b,))
+        out = g.tensor("out", (b, h))
+        from repro.ops import EmbeddingLookupOp
+
+        op = EmbeddingLookupOp("e", table, ids, out)
+        g.add_op(op)
+        with pytest.raises(ValueError):
+            op.validate()

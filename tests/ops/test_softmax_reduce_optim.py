@@ -1,0 +1,160 @@
+"""Unit tests for softmax/cross-entropy, reductions, and SGD update."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+from repro.ops import (
+    reduce_mean,
+    reduce_sum,
+    reduce_sum_to_shape,
+    sgd_update,
+    softmax,
+    softmax_cross_entropy,
+)
+from repro.runtime import execute_graph
+from repro.symbolic import symbols
+
+b, h, v = symbols("b h v")
+
+
+class TestSoftmax:
+    def test_probabilities_sum_to_one(self):
+        g = Graph()
+        x = g.input("x", (3, 5))
+        out = softmax(g, x)
+        xa = np.random.default_rng(0).standard_normal((3, 5)) * 10
+        res = execute_graph(g, {"x": xa})
+        np.testing.assert_allclose(res[out].sum(axis=-1), 1.0, rtol=1e-6)
+
+    def test_stable_for_large_logits(self):
+        g = Graph()
+        x = g.input("x", (1, 3))
+        out = softmax(g, x)
+        res = execute_graph(g, {"x": np.array([[1000.0, 1000.0, 0.0]])})
+        assert np.isfinite(res[out]).all()
+        np.testing.assert_allclose(res[out][0, :2], 0.5, rtol=1e-5)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_loss_value_matches_manual(self):
+        g = Graph()
+        logits = g.input("logits", (2, 3))
+        labels = g.input("labels", (2,))
+        loss, probs = softmax_cross_entropy(g, logits, labels)
+        la = np.array([[2.0, 1.0, 0.0], [0.0, 0.0, 0.0]])
+        ya = np.array([0, 2])
+        res = execute_graph(g, {"logits": la, "labels": ya})
+        e = np.exp(la - la.max(axis=1, keepdims=True))
+        p = e / e.sum(axis=1, keepdims=True)
+        expected = -np.log(p[np.arange(2), ya])
+        np.testing.assert_allclose(res[loss], expected, rtol=1e-6)
+        np.testing.assert_allclose(res[probs], p, rtol=1e-6)
+
+    def test_flops_linear_in_vocab(self):
+        g = Graph()
+        logits = g.input("logits", (b, v))
+        labels = g.input("labels", (b,))
+        softmax_cross_entropy(g, logits, labels)
+        fl = g.ops[0].flops()
+        assert fl == 4 * b * v + 2 * b
+
+    def test_probs_tensor_stays_live_for_backward(self):
+        """The [b, v] probability tensor is a real activation cost."""
+        from repro.graph import differentiate
+        from repro.ops import matmul
+
+        g = Graph()
+        x = g.input("x", (b, h))
+        w = g.parameter("w", (h, v))
+        labels = g.input("labels", (b,))
+        loss_vec, probs = softmax_cross_entropy(g, matmul(g, x, w), labels)
+        loss = reduce_mean(g, loss_vec, [0])
+        differentiate(g, loss)
+        grad_ops = [op for op in g.ops if op.kind == "softmax_ce_grad"]
+        assert len(grad_ops) == 1
+        assert probs in grad_ops[0].inputs
+
+    def test_label_shape_validation(self):
+        g = Graph()
+        logits = g.input("logits", (b, v))
+        labels = g.input("labels", (b, 2))
+        loss, probs = softmax_cross_entropy(g, logits, labels)
+        with pytest.raises(ValueError):
+            g.ops[-1].validate()
+
+
+class TestReductions:
+    def test_reduce_sum_values(self):
+        g = Graph()
+        x = g.input("x", (2, 3))
+        out = reduce_sum(g, x, [1])
+        xa = np.arange(6, dtype=np.float64).reshape(2, 3)
+        res = execute_graph(g, {"x": xa})
+        np.testing.assert_allclose(res[out], xa.sum(axis=1))
+
+    def test_reduce_mean_values(self):
+        g = Graph()
+        x = g.input("x", (2, 3))
+        out = reduce_mean(g, x, [0, 1])
+        xa = np.arange(6, dtype=np.float64).reshape(2, 3)
+        res = execute_graph(g, {"x": xa})
+        np.testing.assert_allclose(res[out], xa.mean())
+
+    def test_negative_axis_normalized(self):
+        g = Graph()
+        x = g.input("x", (b, h))
+        out = reduce_sum(g, x, [-1])
+        assert tuple(out.shape) == (b,)
+
+    def test_reduce_sum_to_shape_vector(self):
+        g = Graph()
+        x = g.input("x", (b, h))
+        out = reduce_sum_to_shape(g, x, (h,))
+        assert tuple(out.shape) == (h,)
+
+    def test_reduce_sum_to_shape_identity(self):
+        g = Graph()
+        x = g.input("x", (b, h))
+        assert reduce_sum_to_shape(g, x, (b, h)) is x
+
+    def test_reduce_sum_to_shape_invalid(self):
+        g = Graph()
+        x = g.input("x", (b, h))
+        with pytest.raises(ValueError):
+            reduce_sum_to_shape(g, x, (b,))
+
+
+class TestSGDUpdate:
+    def test_bytes_three_weight_passes(self):
+        """§4.3: read w, read g, write w — 3 weight-sized accesses."""
+        g = Graph()
+        w = g.parameter("w", (h, v))
+        grad = g.tensor("grad", (h, v))
+        from tests.graph.test_traversal import PassOp
+
+        g.add_op(PassOp("producer", [], [grad]))
+        op = sgd_update(g, w, grad)
+        assert op.bytes_accessed() == 12 * h * v
+        assert op.flops() == 2 * h * v
+
+    def test_no_outputs(self):
+        """Modeled in place so footprint does not double-count weights."""
+        g = Graph()
+        w = g.parameter("w", (h,))
+        grad = g.tensor("grad", (h,))
+        from tests.graph.test_traversal import PassOp
+
+        g.add_op(PassOp("producer", [], [grad]))
+        op = sgd_update(g, w, grad)
+        assert op.outputs == ()
+
+    def test_shape_mismatch_rejected(self):
+        g = Graph()
+        w = g.parameter("w", (h,))
+        grad = g.tensor("grad", (h, 2))
+        from tests.graph.test_traversal import PassOp
+
+        g.add_op(PassOp("producer", [], [grad]))
+        with pytest.raises(ValueError):
+            sgd_update(g, w, grad)

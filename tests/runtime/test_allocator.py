@@ -1,0 +1,79 @@
+"""Tests for the BFC-style allocator simulator (Fig. 10 substrate)."""
+
+import pytest
+
+from repro.graph import evaluate_sizes, topological_order
+from repro.models import build_word_lm
+from repro.runtime import AllocatorConfig, simulate_allocator
+
+
+@pytest.fixture(scope="module")
+def replay():
+    model = build_word_lm(seq_len=5, vocab=200, layers=1)
+    bindings = {model.size_symbol: 32, model.batch: 8}
+    g = model.graph
+    return g, topological_order(g), evaluate_sizes(g, bindings), bindings
+
+
+class TestUnbounded:
+    def test_no_swap_without_capacity(self, replay):
+        g, order, sizes, _ = replay
+        report = simulate_allocator(g, order, sizes)
+        assert not report.did_swap
+        assert report.swapped_out_bytes == 0
+        assert report.peak_resident_bytes == report.peak_total_bytes
+
+    def test_allocator_at_least_liveness_peak(self, replay):
+        """Alignment/binning can only add to the exact liveness peak."""
+        from repro.graph import liveness_peak
+
+        g, order, sizes, _ = replay
+        exact = liveness_peak(g, order, sizes)
+        report = simulate_allocator(g, order, sizes)
+        assert report.peak_resident_bytes >= exact
+        # ... but overhead is bounded by one alignment unit per tensor
+        bound = exact + 256 * len(g.tensors)
+        assert report.peak_resident_bytes <= bound
+
+    def test_rounding_overhead_positive(self, replay):
+        g, order, sizes, _ = replay
+        report = simulate_allocator(g, order, sizes)
+        assert report.rounding_overhead_bytes >= 0
+
+
+class TestCapacityLimited:
+    def test_swaps_when_capacity_exceeded(self, replay):
+        """The Fig. 10 knee: reported footprint flattens at ~80% cap."""
+        g, order, sizes, _ = replay
+        unbounded = simulate_allocator(g, order, sizes)
+        cap = int(unbounded.peak_resident_bytes * 0.5)
+        limited = simulate_allocator(
+            g, order, sizes, AllocatorConfig(capacity_bytes=cap)
+        )
+        assert limited.did_swap
+        # reported (device-resident) footprint flattens well below the
+        # true requirement; transient overcommit of one op's working
+        # set is possible, as for a real allocator under pressure
+        assert limited.peak_resident_bytes < \
+            0.8 * unbounded.peak_resident_bytes
+        # total (incl. swapped) still reflects the true requirement
+        assert limited.peak_total_bytes >= \
+            0.9 * unbounded.peak_resident_bytes
+
+    def test_usable_fraction(self):
+        config = AllocatorConfig(capacity_bytes=10_000_000,
+                                 usable_fraction=0.8)
+        assert config.usable_bytes == 8_000_000
+
+    def test_weights_never_swap(self, replay):
+        """Pinned weights stay resident even under extreme pressure."""
+        g, order, sizes, _ = replay
+        pinned = sum(
+            sizes[t] for t in g.tensors.values()
+            if t.is_persistent or t.producer is None
+        )
+        limited = simulate_allocator(
+            g, order, sizes,
+            AllocatorConfig(capacity_bytes=int(pinned * 1.05)),
+        )
+        assert limited.peak_resident_bytes >= pinned

@@ -1,0 +1,169 @@
+"""Tests for learning curves, Table 1 domains, fitting, projection."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.scaling import (
+    SCALING_DOMAINS,
+    LearningCurve,
+    ModelSizeCurve,
+    fit_learning_curve,
+    fit_power_law,
+    get_scaling,
+    project_all,
+    project_domain,
+    sample_learning_curve,
+    simulate_training_runs,
+)
+
+
+class TestLearningCurve:
+    def test_three_regions(self):
+        curve = LearningCurve(alpha=20.0, beta=-0.35, best_guess=4.0,
+                              irreducible=0.08)
+        assert curve.region(2) == "small-data"
+        assert curve.region(1e4) == "power-law"
+        assert curve.region(1e12) == "irreducible"
+
+    def test_error_monotone_decreasing(self):
+        curve = LearningCurve(alpha=10.0, beta=-0.2)
+        errs = [curve.error(m) for m in (1e3, 1e5, 1e7)]
+        assert errs == sorted(errs, reverse=True)
+
+    def test_inverse_roundtrip(self):
+        curve = LearningCurve(alpha=10.0, beta=-0.2, irreducible=0.05)
+        m = curve.samples_for_error(0.5)
+        assert curve.error(m) == pytest.approx(0.5, rel=1e-9)
+
+    def test_target_below_floor_rejected(self):
+        curve = LearningCurve(alpha=10.0, beta=-0.2, irreducible=0.1)
+        with pytest.raises(ValueError):
+            curve.samples_for_error(0.05)
+
+    def test_exponent_bounds(self):
+        with pytest.raises(ValueError):
+            LearningCurve(alpha=1.0, beta=-0.6)
+        with pytest.raises(ValueError):
+            LearningCurve(alpha=1.0, beta=0.0)
+
+    def test_data_scale_anchored_at_observation(self):
+        curve = LearningCurve(alpha=13.0, beta=-0.066)
+        scale = curve.data_scale(3.37, 2.48)
+        assert scale == pytest.approx((2.48 / 3.37) ** (1 / -0.066))
+
+    def test_no_improvement_means_no_scale(self):
+        curve = LearningCurve(alpha=13.0, beta=-0.066)
+        assert curve.data_scale(2.0, 2.0) == 1.0
+
+
+class TestModelSizeCurve:
+    def test_sublinear_growth(self):
+        curve = ModelSizeCurve(sigma=1e-3, beta=0.7)
+        assert curve.model_scale(100.0) == pytest.approx(100**0.7)
+        assert curve.model_scale(100.0) < 100.0
+
+    def test_exponent_bounds(self):
+        with pytest.raises(ValueError):
+            ModelSizeCurve(sigma=1.0, beta=0.4)
+        with pytest.raises(ValueError):
+            ModelSizeCurve(sigma=1.0, beta=1.0)
+
+
+class TestTable1Projections:
+    """The paper's headline numbers: data 33-971x, model 6.6-456x."""
+
+    def test_word_lm_near_100x_23x(self):
+        p = project_domain("word_lm")
+        assert 90 < p.data_scale < 120       # paper: 100x
+        assert 20 < p.model_scale < 28       # paper: 23x
+        assert 20e9 < p.target_params < 30e9  # paper: 23.8B
+
+    def test_nmt_exact_paper_row(self):
+        p = project_domain("nmt")
+        assert p.data_scale == pytest.approx(750, rel=0.01)
+        assert p.model_scale == pytest.approx(90, rel=0.01)
+
+    def test_image_near_81x_12x(self):
+        p = project_domain("image")
+        assert 75 < p.data_scale < 85        # paper: 81x
+        assert 11 < p.model_scale < 13       # paper: 12x
+
+    def test_char_lm_needs_the_most(self):
+        scales = {k: p.data_scale for k, p in project_all().items()}
+        assert max(scales, key=scales.get) == "char_lm"
+        assert scales["char_lm"] > 500       # paper: 971x
+
+    def test_speech_needs_the_least_data_of_rnns(self):
+        scales = {k: p.data_scale for k, p in project_all().items()}
+        assert scales["speech"] == min(
+            scales[k] for k in ("word_lm", "char_lm", "nmt", "speech")
+        )
+
+    def test_improvements_in_paper_band(self):
+        """Desired SOTA are 1.4x-3.9x better than current."""
+        for p in project_all().values():
+            assert 1.3 < p.improvement < 4.0
+
+    def test_all_five_domains_registered(self):
+        assert set(SCALING_DOMAINS) == {
+            "word_lm", "char_lm", "nmt", "speech", "image"
+        }
+        with pytest.raises(KeyError):
+            get_scaling("tabular")
+
+
+class TestFitting:
+    def test_recovers_planted_power_law(self):
+        fit = fit_power_law([1e3, 1e4, 1e5, 1e6],
+                            [5.0 * m**-0.25 for m in
+                             (1e3, 1e4, 1e5, 1e6)])
+        assert fit.scale == pytest.approx(5.0, rel=1e-6)
+        assert fit.exponent == pytest.approx(-0.25, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_recovery_from_noisy_samples(self):
+        curve = LearningCurve(alpha=9.39, beta=-0.092)
+        sizes = np.logspace(6, 10, 12)
+        x, y = sample_learning_curve(curve, sizes, noise=0.02, seed=3)
+        fit = fit_power_law(x, y)
+        assert fit.exponent == pytest.approx(-0.092, abs=0.02)
+        assert fit.r_squared > 0.9
+
+    def test_floor_subtraction(self):
+        curve = LearningCurve(alpha=10.0, beta=-0.3, irreducible=0.05)
+        sizes = np.logspace(2, 8, 10)
+        errors = [curve.error(m) for m in sizes]
+        fit, floor = fit_learning_curve(sizes, errors, irreducible=0.05)
+        assert fit.exponent == pytest.approx(-0.3, abs=0.01)
+        # without removing the floor, the exponent is badly biased
+        biased = fit_power_law(sizes, errors)
+        assert abs(biased.exponent - -0.3) > abs(fit.exponent - -0.3)
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0], [1.0])
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, -2.0], [1.0, 1.0])
+        with pytest.raises(ValueError):
+            fit_learning_curve([10, 100], [0.01, 0.01],
+                               irreducible=0.02)
+
+
+class TestSyntheticTraining:
+    def test_error_declines_and_floors(self):
+        pts = simulate_training_runs(sizes=(32, 128, 512, 2048),
+                                     label_noise=0.1, seed=0)
+        errs = [p.error for p in pts]
+        assert errs[0] > errs[-1]
+        # floors near the label-noise variance
+        assert errs[-1] == pytest.approx(0.01, rel=0.3)
+
+    def test_midrange_follows_power_law(self):
+        pts = simulate_training_runs(seed=0)
+        mid = [p for p in pts if 64 <= p.samples <= 1024]
+        fit = fit_power_law([p.samples for p in mid],
+                            [p.error - 0.01 for p in mid])
+        assert fit.exponent < -0.2
+        assert fit.r_squared > 0.9

@@ -1,0 +1,219 @@
+"""Unit tests for the symbolic expression core."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.symbolic import (
+    Add,
+    Ceil,
+    Const,
+    Floor,
+    Log,
+    Max,
+    Min,
+    Mul,
+    Pow,
+    Symbol,
+    as_expr,
+    sqrt,
+    symbols,
+)
+
+h, v, b, p = symbols("h v b p")
+
+
+class TestConstruction:
+    def test_symbols_helper_splits_names(self):
+        x, y, z = symbols("x, y z")
+        assert x.name == "x" and y.name == "y" and z.name == "z"
+
+    def test_symbol_requires_name(self):
+        with pytest.raises(ValueError):
+            Symbol("")
+
+    def test_as_expr_coerces_numbers(self):
+        assert as_expr(3) == Const(3)
+        assert as_expr(0.5) == Const(Fraction(1, 2))
+        assert as_expr(h) is h
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            as_expr(True)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            as_expr(float("nan"))
+
+
+class TestArithmetic:
+    def test_add_collects_like_terms(self):
+        assert h + h == 2 * h
+        assert 2 * h + 3 * h - 5 * h == Const(0)
+
+    def test_add_constant_folding(self):
+        assert (h + 2) + (h + 3) == 2 * h + 5
+
+    def test_mul_collects_powers(self):
+        assert h * h == h**2
+        assert h**2 * h**3 == h**5
+
+    def test_mul_by_zero_annihilates(self):
+        assert 0 * (h + v) == Const(0)
+
+    def test_division_cancels(self):
+        assert (h * v) / h == v
+        assert (4 * h) / 2 == 2 * h
+
+    def test_negation_and_subtraction(self):
+        assert -(h - v) == v - h
+        assert h - h == Const(0)
+
+    def test_distributes_scalar_over_sum(self):
+        expr = 3 * (h + v)
+        # canonical Add keeps per-term coefficients
+        assert expr == 3 * h + 3 * v
+
+    def test_rational_coefficients(self):
+        expr = h / 3 + h / 6
+        assert expr == h / 2
+
+    def test_numeric_equality_with_python_numbers(self):
+        assert (h - h) == 0
+        assert as_expr(5) == 5
+        assert as_expr(2.5) == 2.5
+
+
+class TestPow:
+    def test_pow_identities(self):
+        assert h**0 == Const(1)
+        assert h**1 == h
+
+    def test_numeric_pow_folds(self):
+        assert as_expr(2) ** 10 == 1024
+        assert as_expr(2) ** -2 == Fraction(1, 4)
+
+    def test_sqrt_exact_for_perfect_squares(self):
+        assert sqrt(4) == 2
+        assert sqrt(2.25) == 1.5
+        assert sqrt(Fraction(9, 16)) == Fraction(3, 4)
+
+    def test_sqrt_symbolic_roundtrip(self):
+        assert sqrt(p) ** 2 == p
+        assert sqrt(p) * sqrt(p) == p
+
+    def test_sqrt_of_product_splits(self):
+        assert sqrt(4 * p) == 2 * sqrt(p)
+
+    def test_pow_of_pow_merges(self):
+        assert (p**2) ** 3 == p**6
+        assert (p ** Fraction(1, 2)) ** 2 == p
+
+    def test_irrational_sqrt_stays_symbolic(self):
+        two_root = sqrt(2)
+        assert isinstance(two_root, Pow)
+        assert math.isclose(two_root.evalf(), math.sqrt(2))
+
+
+class TestSubsEvalf:
+    def test_subs_by_symbol_and_name(self):
+        expr = 8 * h**2 + 2 * h * v
+        assert expr.subs({h: 2, v: 3}) == 44
+        assert expr.subs({"h": 2, "v": 3}) == 44
+
+    def test_subs_with_expression(self):
+        expr = h**2
+        assert expr.subs({h: v + 1}) == (v + 1) ** 2
+
+    def test_evalf_requires_bindings(self):
+        with pytest.raises(ValueError):
+            h.evalf()
+
+    def test_evalf_numeric(self):
+        expr = b * sqrt(p) / (3.65 * sqrt(p) + 64 * b)
+        value = expr.evalf({b: 128, p: 23.8e9})
+        assert 30 < value < 40  # paper-scale word-LM intensity
+
+    def test_free_symbols(self):
+        expr = 8 * h**2 + 2 * h * v
+        assert expr.free_symbols() == frozenset({h, v})
+        assert as_expr(7).free_symbols() == frozenset()
+
+    def test_is_number(self):
+        assert as_expr(3).is_number
+        assert not (h + 1).is_number
+
+    def test_as_fraction_on_constant(self):
+        assert (as_expr(3) / 4).as_fraction() == Fraction(3, 4)
+
+    def test_as_fraction_raises_on_symbolic(self):
+        with pytest.raises(ValueError):
+            (h + 1).as_fraction()
+
+
+class TestFunctions:
+    def test_max_folds_numeric(self):
+        assert Max.of(3, 5, 2) == 5
+
+    def test_max_keeps_symbolic(self):
+        expr = Max.of(3, p, 5)
+        assert expr.free_symbols() == frozenset({p})
+        assert expr.evalf({p: 100}) == 100
+        assert expr.evalf({p: 1}) == 5
+
+    def test_max_flattens_and_dedups(self):
+        assert Max.of(Max.of(h, v), h) == Max.of(h, v)
+
+    def test_min_folds_numeric(self):
+        assert Min.of(3, 5, 2) == 2
+        assert Min.of(p, 4).evalf({p: 10}) == 4
+
+    def test_ceil_floor_fold(self):
+        assert Ceil.of(Fraction(7, 2)) == 4
+        assert Floor.of(Fraction(7, 2)) == 3
+        assert Ceil.of(3) == 3
+
+    def test_ceil_symbolic(self):
+        expr = Ceil.of(p / 3)
+        assert expr.evalf({p: 10}) == 4.0
+
+    def test_ceil_idempotent(self):
+        assert Ceil.of(Ceil.of(p)) == Ceil.of(p)
+
+    def test_log_folds_one(self):
+        assert Log.of(1) == 0
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Log.of(0)
+
+    def test_log_evalf(self):
+        assert math.isclose(Log.of(p).evalf({p: math.e}), 1.0)
+
+
+class TestCanonicalForm:
+    def test_equality_is_structural(self):
+        left = 2 * h * v + h**2
+        right = h**2 + v * h * 2
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_usable_as_dict_key(self):
+        cache = {h + v: "sum", h * v: "product"}
+        assert cache[v + h] == "sum"
+        assert cache[v * h] == "product"
+
+    def test_str_deterministic(self):
+        expr = 2 * h * v + 8 * h**2
+        assert str(expr) == str(v * h * 2 + h * h * 8)
+
+    def test_add_args_roundtrip(self):
+        expr = 2 * h + 3 * v + 5
+        assert isinstance(expr, Add)
+        assert Add.of(*expr.args()) == expr
+
+    def test_mul_args_roundtrip(self):
+        expr = 6 * h * v**2
+        assert isinstance(expr, Mul)
+        assert Mul.of(*expr.args()) == expr

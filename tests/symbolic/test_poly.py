@@ -1,0 +1,104 @@
+"""Unit tests for polynomial utilities (expand/degree/coefficients/limits)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.symbolic import (
+    Log,
+    Max,
+    asymptotic_ratio,
+    coefficient,
+    degree,
+    expand,
+    leading_term,
+    sqrt,
+    symbols,
+)
+
+h, l, v, q, b, p = symbols("h l v q b p")
+
+
+class TestExpand:
+    def test_expand_binomial_product(self):
+        assert expand((h + 1) * (h - 1)) == h**2 - 1
+
+    def test_expand_square(self):
+        assert expand((h + v) ** 2) == h**2 + 2 * h * v + v**2
+
+    def test_expand_nested(self):
+        expr = q * (16 * h**2 * l + 2 * h * v)
+        assert expand(expr) == 16 * q * l * h**2 + 2 * q * h * v
+
+    def test_expand_leaves_atoms(self):
+        assert expand(h) == h
+        assert expand(sqrt(p)) == sqrt(p)
+
+    def test_expand_through_max(self):
+        expr = Max.of(h * (h + 1), 3)
+        assert expand(expr) == Max.of(h**2 + h, 3)
+
+
+class TestDegree:
+    def test_polynomial_degree(self):
+        assert degree(8 * h**2 * l + 2 * h * v, h) == 2
+        assert degree(8 * h**2 * l + 2 * h * v, v) == 1
+        assert degree(8 * h**2 * l + 2 * h * v, q) == 0
+
+    def test_fractional_degree(self):
+        assert degree(1755 * p + 30784 * b * sqrt(p), p) == 1
+        assert degree(30784 * b * sqrt(p), p) == Fraction(1, 2)
+
+    def test_degree_of_quotient(self):
+        assert degree(p / b, b) == -1
+
+    def test_degree_rejects_nonpolynomial(self):
+        with pytest.raises(ValueError):
+            degree(Log.of(p), p)
+
+    def test_degree_allows_symbol_free_functions(self):
+        # log(v) is constant with respect to p
+        assert degree(p * Log.of(v), p) == 1
+
+
+class TestCoefficient:
+    def test_linear_and_sqrt_coefficients(self):
+        expr = 1755 * p + 30784 * b * sqrt(p)
+        assert coefficient(expr, p, 1) == 1755
+        assert coefficient(expr, p, Fraction(1, 2)) == 30784 * b
+        assert coefficient(expr, p, 2) == 0
+
+    def test_coefficient_collects_multiple_terms(self):
+        expr = 3 * h**2 * l + 5 * h**2 * v + h
+        assert coefficient(expr, h, 2) == 3 * l + 5 * v
+
+    def test_leading_term(self):
+        expr = 1755 * p + 30784 * b * sqrt(p)
+        assert leading_term(expr, p) == 1755 * p
+
+
+class TestAsymptoticRatio:
+    def test_word_lm_flops_per_param_limit(self):
+        """The paper's analytic anchor: step FLOPs / params → 6q."""
+        fwd = q * (16 * h**2 * l + 2 * h * v)
+        params = 8 * h**2 * l + 2 * h * v
+        assert asymptotic_ratio(3 * fwd, params, h) == 6 * q
+
+    def test_ratio_zero_when_denominator_dominates(self):
+        assert asymptotic_ratio(sqrt(p), p, p) == 0
+
+    def test_ratio_diverges(self):
+        with pytest.raises(OverflowError):
+            asymptotic_ratio(p**2, p, p)
+
+    def test_matmul_intensity_limit_in_batch(self):
+        """Op intensity b√p/(c1·√p + c2·b) → √p/c2 as b → ∞."""
+        intensity_num = b * sqrt(p)
+        intensity_den = 2 * sqrt(p) + 4 * b
+        assert asymptotic_ratio(intensity_num, intensity_den, b) == sqrt(p) / 4
+
+    def test_matmul_intensity_limit_in_model(self):
+        """... and → b/c1 as p → ∞ (fixed subbatch plateau, Fig. 9)."""
+        intensity_num = b * sqrt(p)
+        intensity_den = 2 * sqrt(p) + 4 * b
+        assert asymptotic_ratio(intensity_num, intensity_den, p) == b / 2

@@ -1,0 +1,75 @@
+"""Unit tests for expression rendering."""
+
+from fractions import Fraction
+
+from repro.symbolic import (
+    Ceil,
+    Floor,
+    Log,
+    Max,
+    Min,
+    as_expr,
+    sqrt,
+    symbols,
+)
+
+h, v, b, p = symbols("h v b p")
+
+
+class TestAtoms:
+    def test_symbols_and_ints(self):
+        assert str(h) == "h"
+        assert str(as_expr(42)) == "42"
+        assert str(as_expr(-3)) == "-3"
+
+    def test_short_decimals(self):
+        assert str(as_expr(0.5)) == "0.5"
+        assert str(as_expr(3.65)) == "3.65"
+
+    def test_exact_fractions(self):
+        assert str(as_expr(Fraction(1, 3))) == "1/3"
+
+
+class TestCompound:
+    def test_products(self):
+        assert str(2 * h * v) == "2*h*v"
+        assert str(-h) == "-h"
+
+    def test_powers(self):
+        assert str(h**2) == "h**2"
+        assert str(sqrt(p)) == "p**(1/2)"
+        assert str((h + 1) ** 2) == "(h + 1)**2"
+
+    def test_division_renders_as_slash(self):
+        assert str(h / v) == "h/v"
+        assert str(1 / p) == "1/p"
+        assert str(h / (v * p)) == "h/(p*v)"
+
+    def test_sums_with_signs(self):
+        assert str(h - v) in ("h - v", "-v + h")
+        assert str(h + 2) == "h + 2"
+
+    def test_paper_formula_roundtrip(self):
+        expr = 16 * h**2 + 2 * h * v
+        text = str(expr)
+        assert "16*h**2" in text and "2*h*v" in text
+
+    def test_intensity_formula(self):
+        expr = b * sqrt(p) / (3.65 * sqrt(p) + 64 * b)
+        text = str(expr)
+        assert "b" in text and "p**(1/2)" in text
+
+
+class TestFunctions:
+    def test_max_min(self):
+        assert str(Max.of(h, v)) == "max(h, v)"
+        assert str(Min.of(h, 3)) == "min(h, 3)"
+
+    def test_ceil_floor_log(self):
+        assert str(Ceil.of(h / 2)) == "ceil(0.5*h)"
+        assert "floor" in str(Floor.of(p / 3))
+        assert str(Log.of(p)) == "log(p)"
+
+    def test_deterministic(self):
+        expr = Max.of(2 * h * v + 1, sqrt(p))
+        assert str(expr) == str(expr)

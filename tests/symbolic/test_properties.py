@@ -1,0 +1,127 @@
+"""Property-based tests of the symbolic engine (hypothesis).
+
+The engine's contract: canonicalization never changes the numeric value
+of an expression, and algebraic identities hold under evaluation at
+positive bindings (all repro symbols denote positive quantities).
+"""
+
+import math
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbolic import Max, Min, as_expr, expand, sqrt, symbols
+
+x, y, z = symbols("x y z")
+SYMS = (x, y, z)
+
+# positive, moderately-sized rationals keep evalf well-conditioned
+positive_rationals = st.fractions(
+    min_value=Fraction(1, 8), max_value=Fraction(64)
+)
+
+
+@st.composite
+def expressions(draw, depth=3):
+    """Random positive-valued expressions over x, y, z."""
+    if depth == 0:
+        choice = draw(st.integers(0, 1))
+        if choice == 0:
+            return draw(st.sampled_from(SYMS))
+        return as_expr(draw(positive_rationals))
+    kind = draw(st.integers(0, 4))
+    if kind == 0:
+        return draw(st.sampled_from(SYMS))
+    if kind == 1:
+        return as_expr(draw(positive_rationals))
+    left = draw(expressions(depth=depth - 1))
+    right = draw(expressions(depth=depth - 1))
+    if kind == 2:
+        return left + right
+    if kind == 3:
+        return left * right
+    exponent = draw(st.sampled_from([2, 3, Fraction(1, 2)]))
+    return left ** as_expr(exponent)
+
+
+@st.composite
+def bindings(draw):
+    return {
+        s: float(draw(positive_rationals)) for s in SYMS
+    }
+
+
+def _close(a, b):
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(expressions(), expressions(), bindings())
+@settings(max_examples=150, deadline=None)
+def test_addition_commutes_numerically(e1, e2, env):
+    assert (e1 + e2) == (e2 + e1)
+    assert _close((e1 + e2).evalf(env), e1.evalf(env) + e2.evalf(env))
+
+
+@given(expressions(), expressions(), bindings())
+@settings(max_examples=150, deadline=None)
+def test_multiplication_commutes_numerically(e1, e2, env):
+    assert (e1 * e2) == (e2 * e1)
+    assert _close((e1 * e2).evalf(env), e1.evalf(env) * e2.evalf(env))
+
+
+@given(expressions(), bindings())
+@settings(max_examples=150, deadline=None)
+def test_expand_preserves_value(expr, env):
+    assert _close(expand(expr).evalf(env), expr.evalf(env))
+
+
+@given(expressions(), bindings())
+@settings(max_examples=100, deadline=None)
+def test_subtraction_self_is_zero(expr, env):
+    assert (expr - expr) == 0
+
+
+@given(expressions(), bindings())
+@settings(max_examples=100, deadline=None)
+def test_division_self_is_one(expr, env):
+    assert (expr / expr) == 1
+
+
+@given(expressions(), bindings())
+@settings(max_examples=100, deadline=None)
+def test_sqrt_square_roundtrip(expr, env):
+    """Valid because all atoms are positive."""
+    assert _close((sqrt(expr) ** 2).evalf(env), expr.evalf(env))
+
+
+@given(expressions(), expressions(), bindings())
+@settings(max_examples=100, deadline=None)
+def test_max_min_bracket_value(e1, e2, env):
+    big = Max.of(e1, e2).evalf(env)
+    small = Min.of(e1, e2).evalf(env)
+    v1, v2 = e1.evalf(env), e2.evalf(env)
+    assert _close(big, max(v1, v2))
+    assert _close(small, min(v1, v2))
+
+
+@given(expressions(), bindings())
+@settings(max_examples=100, deadline=None)
+def test_subs_full_binding_matches_evalf(expr, env):
+    substituted = expr.subs(env)
+    assert substituted.is_number
+    assert _close(substituted.evalf(), expr.evalf(env))
+
+
+@given(expressions())
+@settings(max_examples=100, deadline=None)
+def test_str_is_deterministic_and_nonempty(expr):
+    assert str(expr)
+    assert str(expr) == str(expr)
+
+
+@given(expressions(), expressions())
+@settings(max_examples=100, deadline=None)
+def test_hash_consistent_with_equality(e1, e2):
+    if e1 == e2:
+        assert hash(e1) == hash(e2)

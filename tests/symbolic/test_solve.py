@@ -1,0 +1,73 @@
+"""Unit tests for power-law inversion and bisection."""
+
+import math
+
+import pytest
+
+from repro.symbolic import (
+    bisect_increasing,
+    evalf_fn,
+    invert_power_law,
+    power_law,
+    sqrt,
+    symbols,
+)
+
+b, p = symbols("b p")
+
+
+class TestPowerLaw:
+    def test_roundtrip_negative_exponent(self):
+        """Learning-curve style: ε(m) = α m^βg with βg < 0."""
+        alpha, beta = 13.0, -0.066
+        m = invert_power_law(alpha, beta, 2.48)
+        assert math.isclose(power_law(alpha, beta, m), 2.48, rel_tol=1e-12)
+
+    def test_roundtrip_positive_exponent(self):
+        """Model-size style: p(m) = σ m^βp with βp > 0."""
+        sigma, beta = 9.4e-4, 0.68
+        m = invert_power_law(sigma, beta, 1e9)
+        assert math.isclose(power_law(sigma, beta, m), 1e9, rel_tol=1e-12)
+
+    def test_word_lm_data_scale_near_100x(self):
+        """Paper Table 1: word LMs need ~100x more data for 2.48 nats."""
+        m_target = invert_power_law(13.0, -0.066, 2.48)
+        scale = m_target / 768e6
+        assert 80 < scale < 130
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            invert_power_law(0.0, -0.1, 1.0)
+        with pytest.raises(ValueError):
+            invert_power_law(1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            power_law(1.0, -0.5, 0.0)
+
+
+class TestBisect:
+    def test_finds_crossing(self):
+        fn = lambda x: x * x
+        x = bisect_increasing(fn, 9.0, 0.0, 100.0)
+        assert math.isclose(x, 3.0, rel_tol=1e-6)
+
+    def test_saturates_at_hi(self):
+        fn = lambda x: min(x, 10.0)
+        assert bisect_increasing(fn, 50.0, 0.0, 100.0) == 100.0
+
+    def test_clamps_at_lo(self):
+        fn = lambda x: x + 100.0
+        assert bisect_increasing(fn, 1.0, 0.0, 10.0) == 0.0
+
+    def test_empty_bracket_rejected(self):
+        with pytest.raises(ValueError):
+            bisect_increasing(lambda x: x, 1.0, 10.0, 0.0)
+
+    def test_with_compiled_expression(self):
+        """Find subbatch where matmul-style intensity reaches a target."""
+        intensity = b * sqrt(p) / (2 * sqrt(p) + 4 * b)
+        fn = evalf_fn(intensity, b, fixed={p: 1e8})
+        target = 19.9  # effective accelerator ridge point
+        x = bisect_increasing(fn, target, 1.0, 1e6)
+        assert math.isclose(fn(x), target, rel_tol=1e-6)
+        # intensity at small b is below the ridge point
+        assert fn(1.0) < target < fn(1e6)
