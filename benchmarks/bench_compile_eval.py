@@ -1,0 +1,172 @@
+"""Benchmark: tree-walk vs compiled vs vectorized expression evaluation.
+
+Times the three evaluation paths on the word-LM and ResNet (image)
+sweeps at three levels:
+
+* the Figure 7-10 aggregate expressions, per sweep size;
+* per-tensor size evaluation for the training graph;
+* the full ``sweep_domain`` pipeline (``engine="treewalk"`` — the seed
+  recursive path — vs ``engine="compiled"``).
+
+Writes ``BENCH_compile_eval.json`` at the repo root and asserts the
+PR's acceptance criterion: the compiled sweep on the largest stock
+domain (word_lm) is at least 5x faster than the tree walk, with every
+row matching to 1e-9 relative.
+
+Run:  pytest benchmarks/bench_compile_eval.py -s
+"""
+
+from dataclasses import fields
+from time import perf_counter
+
+from repro.analysis.counters import _SWEEP_AGGREGATES, StepCounts
+from repro.analysis.sweep import _sweep_domain_uncached
+from repro.graph.traversal import (
+    _evaluate_sizes_treewalk,
+    evaluate_sizes,
+    size_program,
+)
+from repro.models.registry import build_symbolic, get_domain
+
+DOMAINS = ("word_lm", "image")  # word LM + ResNet, per the paper's Fig 7
+
+
+def _timed(fn):
+    t0 = perf_counter()
+    out = fn()
+    return perf_counter() - t0, out
+
+
+def _rel_err(a, b):
+    return abs(a - b) / max(abs(a), abs(b), 1.0)
+
+
+def _warm_aggregates(counts: StepCounts) -> None:
+    """Force one-time aggregate Expr construction (shared by all
+    engines) so neither timed path is charged for it."""
+    for name in _SWEEP_AGGREGATES:
+        getattr(counts, name)
+
+
+def _bench_aggregates(key: str) -> dict:
+    entry = get_domain(key)
+    counts = StepCounts(build_symbolic(key))
+    _warm_aggregates(counts)
+    sizes = list(entry.sweep_sizes)
+    rows = [counts.bind(s, entry.subbatch) for s in sizes]
+    exprs = [getattr(counts, n) for n in _SWEEP_AGGREGATES]
+
+    # the aggregates evaluate in microseconds once built, so repeat the
+    # whole series to get timings above clock resolution
+    reps = range(200)
+
+    def treewalk():
+        for _ in reps:
+            out = [[e.evalf(r) for e in exprs] for r in rows]
+        return out
+
+    # compiled paths pay their own compile cost (counts caches the tape)
+    def compiled():
+        for _ in reps:
+            out = [counts.compiled(*_SWEEP_AGGREGATES)(r) for r in rows]
+        return out
+
+    def vectorized():
+        for _ in reps:
+            out = counts.compiled(*_SWEEP_AGGREGATES).eval_many(rows)
+        return out
+
+    treewalk_s, reference = _timed(treewalk)
+    compiled_s, scalar = _timed(compiled)
+    vectorized_s, table = _timed(vectorized)
+
+    err_scalar = max(
+        _rel_err(scalar[i][j], reference[i][j])
+        for i in range(len(rows)) for j in range(len(exprs))
+    )
+    err_vector = max(
+        _rel_err(float(table[i, j]), reference[i][j])
+        for i in range(len(rows)) for j in range(len(exprs))
+    )
+    assert err_scalar == 0.0, "compiled scalar path must be bit-identical"
+    assert err_vector <= 1e-9
+
+    return {
+        "n_sizes": len(sizes),
+        "n_aggregates": len(exprs),
+        "treewalk_s": round(treewalk_s, 6),
+        "compiled_s": round(compiled_s, 6),
+        "vectorized_s": round(vectorized_s, 6),
+        "speedup_compiled": round(treewalk_s / compiled_s, 2),
+        "speedup_vectorized": round(treewalk_s / vectorized_s, 2),
+        "max_rel_err_compiled": err_scalar,
+        "max_rel_err_vectorized": err_vector,
+    }
+
+
+def _bench_tensor_sizes(key: str) -> dict:
+    entry = get_domain(key)
+    model = build_symbolic(key)
+    binding = {model.size_symbol: list(entry.sweep_sizes)[-1],
+               model.batch: entry.subbatch}
+
+    treewalk_s, reference = _timed(
+        lambda: _evaluate_sizes_treewalk(model.graph, binding)
+    )
+    size_program(model.graph)  # compile once, like the sweep does
+    compiled_s, sizes = _timed(lambda: evaluate_sizes(model.graph, binding))
+    assert sizes == reference, "compiled tensor sizing must be exact"
+
+    return {
+        "n_tensors": len(reference),
+        "treewalk_s": round(treewalk_s, 6),
+        "compiled_s": round(compiled_s, 6),
+        "speedup": round(treewalk_s / compiled_s, 2),
+    }
+
+
+def _bench_sweep(key: str) -> dict:
+    counts = StepCounts(build_symbolic(key))
+    _warm_aggregates(counts)
+
+    treewalk_s, slow = _timed(
+        lambda: _sweep_domain_uncached(key, engine="treewalk")
+    )
+    compiled_s, fast = _timed(
+        lambda: _sweep_domain_uncached(key, engine="compiled")
+    )
+
+    err = max(
+        _rel_err(getattr(ra, f.name), getattr(rb, f.name))
+        for ra, rb in zip(fast.rows, slow.rows)
+        for f in fields(ra)
+    )
+    assert err <= 1e-9, f"{key}: engines diverged (rel err {err})"
+
+    return {
+        "n_sizes": len(fast.rows),
+        "treewalk_s": round(treewalk_s, 6),
+        "compiled_s": round(compiled_s, 6),
+        "speedup": round(treewalk_s / compiled_s, 2),
+        "max_rel_err": err,
+    }
+
+
+def test_compile_eval(bench_json):
+    results = {
+        "aggregates": {k: _bench_aggregates(k) for k in DOMAINS},
+        "tensor_sizes": {k: _bench_tensor_sizes(k) for k in DOMAINS},
+        "sweep_domain": {k: _bench_sweep(k) for k in DOMAINS},
+    }
+    path = bench_json("BENCH_compile_eval", results)
+
+    print()
+    for section, per_domain in results.items():
+        for key, stats in per_domain.items():
+            speed = stats.get("speedup", stats.get("speedup_vectorized"))
+            print(f"{section:>13} {key:<8} treewalk {stats['treewalk_s']:8.3f}s"
+                  f"  compiled {stats['compiled_s']:8.3f}s  {speed:6.1f}x")
+    print(f"wrote {path}")
+
+    # acceptance: >=5x on the largest stock domain's full sweep
+    assert results["sweep_domain"]["word_lm"]["speedup"] >= 5.0

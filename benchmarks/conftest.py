@@ -4,4 +4,60 @@ The report generators reuse memoized domain sweeps, so the whole
 benchmark suite performs each expensive sweep exactly once per process.
 Benchmarks run with ``rounds=1``: these are end-to-end experiment
 regenerations (seconds to minutes), not microbenchmarks.
+
+Every benchmark session also emits machine-readable timings:
+``benchmarks/BENCH_timings.json`` maps each collected test id to its
+call duration in seconds, so future PRs can diff perf without parsing
+pytest's terminal output.  Individual benchmarks write richer payloads
+through :func:`write_bench_json`.
 """
+
+import json
+import platform
+from pathlib import Path
+
+import pytest
+
+#: repository root — BENCH_*.json artifacts live here, next to RESULTS.txt
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_TIMINGS_PATH = Path(__file__).resolve().parent / "BENCH_timings.json"
+_timings = {}
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Write one benchmark's results as ``<repo>/<name>.json``.
+
+    Stamps the payload with interpreter/platform info so recorded
+    numbers can be compared like-for-like across machines.
+    """
+    out = dict(payload)
+    out.setdefault("machine", {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "processor": platform.processor() or "unknown",
+    })
+    path = REPO_ROOT / f"{name}.json"
+    path.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+@pytest.fixture
+def bench_json():
+    """Fixture handing benchmarks the JSON artifact writer."""
+    return write_bench_json
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call":
+        _timings[item.nodeid] = round(report.duration, 6)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _timings:
+        _TIMINGS_PATH.write_text(
+            json.dumps(_timings, indent=2, sort_keys=True) + "\n"
+        )

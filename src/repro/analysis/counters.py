@@ -15,12 +15,24 @@ when the builder left one free):
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..models.base import BuiltModel
-from ..symbolic import Expr, coefficient
+from ..symbolic import CompiledExpr, Expr, coefficient, compile_batch, compile_expr
 
 __all__ = ["StepCounts"]
+
+#: aggregates evaluated per sweep row, in SweepRow order
+_SWEEP_AGGREGATES: Tuple[str, ...] = (
+    "params",
+    "flops_per_sample",
+    "step_flops",
+    "step_bytes",
+    "bytes_fixed",
+    "bytes_per_sample",
+)
 
 
 class StepCounts:
@@ -34,6 +46,7 @@ class StepCounts:
             )
         self.model = model
         self._cache: dict = {}
+        self._compiled: Dict[Tuple[str, ...], CompiledExpr] = {}
 
     # -- raw aggregates -----------------------------------------------------
     @property
@@ -98,22 +111,65 @@ class StepCounts:
             bindings[self.model.batch] = subbatch
         return bindings
 
+    # -- compiled evaluation --------------------------------------------------
+    def compiled(self, *names: str) -> CompiledExpr:
+        """Batch-compile the named aggregates (CSE'd, cached).
+
+        One tape serves every subsequent evaluation of these
+        aggregates; subtrees common across them (the parameter sum
+        inside FLOPs *and* bytes, say) are evaluated once per binding.
+        """
+        key = tuple(names)
+        program = self._compiled.get(key)
+        if program is None:
+            exprs = [getattr(self, n) for n in names]
+            program = (compile_expr(exprs[0]) if len(exprs) == 1
+                       else compile_batch(exprs))
+            self._compiled[key] = program
+        return program
+
+    def sweep_series(self, sizes: Sequence[float],
+                     subbatch: float) -> Dict[str, np.ndarray]:
+        """Vectorized sweep: every aggregate at every size in one pass.
+
+        Returns ``{aggregate: array over sizes}`` for the Figure 7–10
+        quantities plus a derived ``intensity`` series.  One compiled
+        tape is replayed over the N×S binding matrix — the tree-walk
+        path re-derived every subtree at every size.
+        """
+        program = self.compiled(*_SWEEP_AGGREGATES)
+        if self.model.size_symbol is None:
+            raise ValueError("model was built with a concrete size")
+        rows = [self.bind(size, subbatch) for size in sizes]
+        table = program.eval_many(rows)
+        series = {
+            name: table[:, j] for j, name in enumerate(_SWEEP_AGGREGATES)
+        }
+        with np.errstate(divide="ignore", invalid="ignore"):
+            series["intensity"] = np.where(
+                series["step_bytes"] == 0, 0.0,
+                series["step_flops"] / series["step_bytes"],
+            )
+        return series
+
     def eval_params(self, size=None) -> float:
-        return self.params.evalf(self.bind(size))
+        return self.compiled("params")(self.bind(size))
 
     def eval_step_flops(self, size=None, subbatch=None) -> float:
-        return self.step_flops.evalf(self.bind(size, subbatch))
+        return self.compiled("step_flops")(self.bind(size, subbatch))
 
     def eval_step_bytes(self, size=None, subbatch=None) -> float:
-        return self.step_bytes.evalf(self.bind(size, subbatch))
+        return self.compiled("step_bytes")(self.bind(size, subbatch))
 
     def eval_flops_per_sample(self, size=None) -> float:
-        return self.flops_per_sample.evalf(self.bind(size))
+        return self.compiled("flops_per_sample")(self.bind(size))
 
     def eval_intensity(self, size=None, subbatch=None) -> float:
         """Graph-level operational intensity, FLOP/B (Fig. 9/11)."""
         bindings = self.bind(size, subbatch)
-        total_bytes = self.step_bytes.evalf(bindings)
+        flops, total_bytes = self.compiled("step_flops", "step_bytes")(
+            bindings
+        )
         if total_bytes == 0:
             return 0.0
-        return self.step_flops.evalf(bindings) / total_bytes
+        return flops / total_bytes

@@ -23,6 +23,10 @@ from ..graph import (
     memory_greedy_order,
     topological_order,
 )
+from ..graph.traversal import (
+    _evaluate_sizes_treewalk,
+    _memory_greedy_order_reference,
+)
 from ..models.base import BuiltModel
 
 __all__ = ["FootprintEstimate", "estimate_footprint"]
@@ -57,17 +61,31 @@ class FootprintEstimate:
 def estimate_footprint(model: BuiltModel,
                        bindings: Optional[Mapping] = None, *,
                        use_greedy: bool = True,
-                       inplace: bool = False) -> FootprintEstimate:
+                       inplace: bool = False,
+                       engine: str = "compiled") -> FootprintEstimate:
     """Evaluate footprint bounds for one concrete configuration.
 
     ``bindings`` must bind the model's size symbol and subbatch.  Set
-    ``use_greedy=False`` to skip the O(V·ready) greedy schedule on very
-    large graphs (the program-order bound is then reported for both).
+    ``use_greedy=False`` to skip the greedy schedule on very large
+    graphs (the program-order bound is then reported for both).
     ``inplace=True`` applies the §4.5 TensorFlow optimization: eligible
     pointwise ops reuse their input's buffer.
+
+    ``engine`` selects the evaluation path: ``"compiled"`` (default)
+    sizes tensors through the batch-compiled tape and schedules with
+    the incremental greedy; ``"treewalk"`` is the seed recursive-evalf
+    / rescan path, kept as the benchmark baseline and behavioral
+    oracle — both produce identical estimates.
     """
+    if engine not in ("compiled", "treewalk"):
+        raise ValueError(f"unknown footprint engine {engine!r}")
     graph = model.graph
-    sizes = evaluate_sizes(graph, bindings)
+    if engine == "treewalk":
+        sizes = _evaluate_sizes_treewalk(graph, bindings)
+        greedy_schedule = _memory_greedy_order_reference
+    else:
+        sizes = evaluate_sizes(graph, bindings)
+        greedy_schedule = memory_greedy_order
 
     persistent = sum(
         sizes[t] for t in graph.tensors.values()
@@ -81,7 +99,7 @@ def estimate_footprint(model: BuiltModel,
     else:
         program = liveness_peak(graph, order, sizes)
     if use_greedy:
-        greedy_order = memory_greedy_order(graph, sizes)
+        greedy_order = greedy_schedule(graph, sizes)
         if aliases:
             greedy = liveness_peak_aliased(graph, greedy_order, sizes,
                                            aliases)

@@ -5,11 +5,20 @@ quantity (params, FLOPs/sample, GB accessed/step, operational
 intensity, minimal footprint) is evaluated from the same aggregate
 expressions, mirroring how the paper collects one TFprof profile per
 trained configuration.
+
+Evaluation runs through the compiled-expression layer
+(:mod:`repro.symbolic.compile`): the aggregates are batch-compiled once
+per model and replayed vectorized over the whole size series, and the
+footprint path sizes tensors through a CSE'd tape shared by all sweep
+points.  The seed recursive tree-walk survives as
+``engine="treewalk"``, the baseline that
+``benchmarks/bench_compile_eval.py`` measures against.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
 from typing import List, Optional
 
 from ..models.registry import DomainEntry, build_symbolic, get_domain
@@ -19,8 +28,10 @@ from .footprint import estimate_footprint
 
 __all__ = ["SweepResult", "SweepRow", "sweep_domain"]
 
-#: greedy scheduling is O(V·ready); skip it above this op count and use
-#: program order (the difference is small for these graphs)
+#: greedy scheduling is O(V·ready) in treewalk mode; skip it above this
+#: op count and use program order (the difference is small for these
+#: graphs).  The compiled engine keeps the same threshold so both
+#: engines report identical footprints.
 _GREEDY_OP_LIMIT = 20_000
 
 
@@ -49,34 +60,80 @@ class SweepResult:
     fitted: Optional[FirstOrderModel] = None
 
 
-_SWEEP_CACHE: dict = {}
+#: memoized sweeps, LRU-bounded so long report runs cannot grow memory
+#: without limit; values are masters that callers never see directly
+_SWEEP_CACHE: "OrderedDict[tuple, SweepResult]" = OrderedDict()
+_SWEEP_CACHE_MAX = 32
+
+#: StepCounts per domain — carries the batch-compiled aggregate tapes,
+#: which every sweep configuration of a domain shares
+_COUNTS_CACHE: dict = {}
+
+
+def _counts_for(key: str) -> StepCounts:
+    counts = _COUNTS_CACHE.get(key)
+    if counts is None or counts.model is not build_symbolic(key):
+        counts = StepCounts(build_symbolic(key))
+        _COUNTS_CACHE[key] = counts
+    return counts
+
+
+def _copy_result(result: SweepResult) -> SweepResult:
+    """Defensive copy handed to callers.
+
+    The cache used to return one shared mutable ``SweepResult`` to
+    every caller; a report mutating a row (or ``symbolic.phi``) would
+    silently corrupt every later consumer.  Rows and fitted models are
+    shallow dataclasses of floats, so ``replace`` copies are cheap.
+    """
+    return SweepResult(
+        domain=result.domain,
+        subbatch=result.subbatch,
+        rows=[replace(row) for row in result.rows],
+        symbolic=(replace(result.symbolic)
+                  if result.symbolic is not None else None),
+        fitted=(replace(result.fitted)
+                if result.fitted is not None else None),
+    )
 
 
 def sweep_domain(key: str, *, subbatch: Optional[int] = None,
                  include_footprint: bool = True,
-                 sizes=None) -> SweepResult:
+                 sizes=None, engine: str = "compiled") -> SweepResult:
     """Run the Figure 7–10 sweep for one domain (memoized).
 
-    Sweeps over large unrolled graphs are expensive (tens of seconds);
-    reports and benchmarks share one cached result per configuration.
+    Sweeps over large unrolled graphs are expensive; reports and
+    benchmarks share one cached result per configuration.  Each call
+    returns a fresh defensive copy, so callers may mutate their result
+    freely; the cache is LRU-bounded at ``_SWEEP_CACHE_MAX`` entries.
+
+    ``engine="treewalk"`` selects the recursive-``evalf`` reference
+    path; both engines produce identical rows (tested to 1e-9).
     """
     cache_key = (key, subbatch, include_footprint,
-                 tuple(sizes) if sizes is not None else None)
-    if cache_key in _SWEEP_CACHE:
-        return _SWEEP_CACHE[cache_key]
+                 tuple(sizes) if sizes is not None else None, engine)
+    cached = _SWEEP_CACHE.get(cache_key)
+    if cached is not None:
+        _SWEEP_CACHE.move_to_end(cache_key)
+        return _copy_result(cached)
     result = _sweep_domain_uncached(key, subbatch=subbatch,
                                     include_footprint=include_footprint,
-                                    sizes=sizes)
+                                    sizes=sizes, engine=engine)
     _SWEEP_CACHE[cache_key] = result
-    return result
+    while len(_SWEEP_CACHE) > _SWEEP_CACHE_MAX:
+        _SWEEP_CACHE.popitem(last=False)
+    return _copy_result(result)
 
 
 def _sweep_domain_uncached(key: str, *, subbatch: Optional[int] = None,
                            include_footprint: bool = True,
-                           sizes=None) -> SweepResult:
+                           sizes=None,
+                           engine: str = "compiled") -> SweepResult:
+    if engine not in ("compiled", "treewalk"):
+        raise ValueError(f"unknown sweep engine {engine!r}")
     entry: DomainEntry = get_domain(key)
-    model = build_symbolic(key)
-    counts = StepCounts(model)
+    counts = _counts_for(key)
+    model = counts.model
     subbatch = subbatch if subbatch is not None else entry.subbatch
     sizes = list(sizes) if sizes is not None else list(entry.sweep_sizes)
 
@@ -84,26 +141,45 @@ def _sweep_domain_uncached(key: str, *, subbatch: Optional[int] = None,
     use_greedy = len(model.graph) <= _GREEDY_OP_LIMIT
 
     footprints = []
-    for size in sizes:
-        bindings = counts.bind(size, subbatch)
-        params = counts.params.evalf(bindings)
-        footprint = 0.0
-        if include_footprint:
-            footprint = float(
-                estimate_footprint(model, bindings,
-                                   use_greedy=use_greedy).minimal_bytes
-            )
-            footprints.append(footprint)
-        result.rows.append(SweepRow(
-            size=size,
-            params=params,
-            flops_per_sample=counts.flops_per_sample.evalf(bindings),
-            step_bytes=counts.step_bytes.evalf(bindings),
-            intensity=counts.eval_intensity(size, subbatch),
-            footprint_bytes=footprint,
-            bytes_fixed=counts.bytes_fixed.evalf(bindings),
-            bytes_per_sample=counts.bytes_per_sample.evalf(bindings),
-        ))
+
+    def footprint_at(size: float) -> float:
+        if not include_footprint:
+            return 0.0
+        value = float(
+            estimate_footprint(model, counts.bind(size, subbatch),
+                               use_greedy=use_greedy,
+                               engine=engine).minimal_bytes
+        )
+        footprints.append(value)
+        return value
+
+    if engine == "compiled":
+        series = counts.sweep_series(sizes, subbatch)
+        for i, size in enumerate(sizes):
+            result.rows.append(SweepRow(
+                size=size,
+                params=float(series["params"][i]),
+                flops_per_sample=float(series["flops_per_sample"][i]),
+                step_bytes=float(series["step_bytes"][i]),
+                intensity=float(series["intensity"][i]),
+                footprint_bytes=footprint_at(size),
+                bytes_fixed=float(series["bytes_fixed"][i]),
+                bytes_per_sample=float(series["bytes_per_sample"][i]),
+            ))
+    else:
+        # seed path: one recursive tree walk per aggregate per size
+        for size in sizes:
+            bindings = counts.bind(size, subbatch)
+            result.rows.append(SweepRow(
+                size=size,
+                params=counts.params.evalf(bindings),
+                flops_per_sample=counts.flops_per_sample.evalf(bindings),
+                step_bytes=counts.step_bytes.evalf(bindings),
+                intensity=_treewalk_intensity(counts, bindings),
+                footprint_bytes=footprint_at(size),
+                bytes_fixed=counts.bytes_fixed.evalf(bindings),
+                bytes_per_sample=counts.bytes_per_sample.evalf(bindings),
+            ))
 
     result.fitted = fit_numeric(
         key,
@@ -118,3 +194,10 @@ def _sweep_domain_uncached(key: str, *, subbatch: Optional[int] = None,
     result.symbolic = derive_symbolic(counts, delta=result.fitted.delta)
     result.symbolic.phi = result.fitted.phi
     return result
+
+
+def _treewalk_intensity(counts: StepCounts, bindings) -> float:
+    total_bytes = counts.step_bytes.evalf(bindings)
+    if total_bytes == 0:
+        return 0.0
+    return counts.step_flops.evalf(bindings) / total_bytes

@@ -18,8 +18,10 @@ mark of live bytes; persistent tensors (weights) are charged once.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+import weakref
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..symbolic.compile import CompiledExpr, compile_batch
 from .graph import Graph
 from .op import Op
 from .tensor import Tensor
@@ -29,6 +31,8 @@ __all__ = [
     "memory_greedy_order",
     "liveness_peak",
     "evaluate_sizes",
+    "evaluate_sizes_many",
+    "size_program",
 ]
 
 
@@ -66,9 +70,66 @@ def topological_order(graph: Graph) -> List[Op]:
     return order
 
 
+#: graph -> (tensor count at compile time, tensor tuple, compiled batch)
+_SIZE_PROGRAMS: "weakref.WeakKeyDictionary[Graph, tuple]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def size_program(graph: Graph) -> Tuple[Tuple[Tensor, ...], CompiledExpr]:
+    """Batch-compile every tensor's byte-size expression (cached).
+
+    The tensor-size expressions of an unrolled graph share most of
+    their subtrees (the same ``h``/``b`` products appear in thousands
+    of shapes); compiling them into one CSE'd tape means each shared
+    subterm is evaluated once per binding instead of once per tensor.
+    Recompiles automatically if tensors were added since the last call.
+    """
+    cached = _SIZE_PROGRAMS.get(graph)
+    if cached is None or cached[0] != len(graph.tensors):
+        tensors = tuple(graph.tensors.values())
+        program = compile_batch([t.size_bytes() for t in tensors])
+        cached = (len(tensors), tensors, program)
+        _SIZE_PROGRAMS[graph] = cached
+    return cached[1], cached[2]
+
+
 def evaluate_sizes(graph: Graph,
                    bindings: Optional[Mapping] = None) -> Dict[Tensor, int]:
-    """Concrete byte size per tensor under the given symbol bindings."""
+    """Concrete byte size per tensor under the given symbol bindings.
+
+    Evaluates the cached batch-compiled size program — one tape replay
+    for the whole graph, identical floats to the per-tensor tree walk.
+    """
+    tensors, program = size_program(graph)
+    values = program(bindings)
+    return {t: int(round(v)) for t, v in zip(tensors, values)}
+
+
+def evaluate_sizes_many(graph: Graph, rows) -> "list[Dict[Tensor, int]]":
+    """Sizes for many bindings at once (vectorized tape replay).
+
+    ``rows`` is a sequence of bindings mappings or a column mapping
+    (see :meth:`repro.symbolic.CompiledExpr.bind_matrix`); returns one
+    size dict per row.
+    """
+    tensors, program = size_program(graph)
+    matrix = program.eval_many(rows)
+    out = []
+    for r in range(matrix.shape[0]):
+        row = matrix[r]
+        out.append({t: int(round(row[j])) for j, t in enumerate(tensors)})
+    return out
+
+
+def _evaluate_sizes_treewalk(graph: Graph,
+                             bindings: Optional[Mapping] = None
+                             ) -> Dict[Tensor, int]:
+    """Reference per-tensor recursive evaluation (seed behavior).
+
+    Kept for equivalence tests and as the baseline the compiled path is
+    benchmarked against (``benchmarks/bench_compile_eval.py``).
+    """
     sizes: Dict[Tensor, int] = {}
     for t in graph.tensors.values():
         sizes[t] = int(round(t.size_bytes().evalf(bindings)))
@@ -88,6 +149,98 @@ def memory_greedy_order(graph: Graph,
     At each step, among ready ops pick the one whose execution changes
     live bytes the least (bytes allocated for outputs minus bytes of
     inputs that die).  Ties break on program order for determinism.
+
+    Deltas are maintained *incrementally*: an op's growth (output
+    bytes) is fixed, and its shrink (input bytes it frees) only ever
+    increases — a tensor is credited to a consumer exactly when that
+    consumer becomes the sole holder of its remaining uses.  A lazy
+    min-heap over ``(delta, program index)`` then replaces the
+    O(ready · degree) rescan per step, taking the schedule from
+    O(V·ready·degree) to O((V + E) log V) while producing the *same*
+    order as the reference scan (verified by tests).
+    """
+    ops = graph.ops
+    n = len(ops)
+    op_index = {op: i for i, op in enumerate(ops)}
+
+    # Distinct non-persistent inputs per op, with use counts; and the
+    # inverse map: per tensor, the consumers holding uses of it.
+    uses: List[List[Tuple[Tensor, int]]] = []
+    holders: Dict[Tensor, List[Tuple[int, int]]] = {}
+    for i, op in enumerate(ops):
+        counts: Dict[Tensor, int] = {}
+        for t in op.inputs:
+            if not t.is_persistent:
+                counts[t] = counts.get(t, 0) + 1
+        items = list(counts.items())
+        uses.append(items)
+        for t, c in items:
+            holders.setdefault(t, []).append((i, c))
+
+    remaining = _consumer_counts(graph)
+    grow = [
+        sum(sizes[t] for t in op.outputs if not t.is_persistent)
+        for op in ops
+    ]
+    shrink = [0] * n
+    for t, ops_counts in holders.items():
+        rem = remaining[t]
+        for i, c in ops_counts:
+            if c == rem:
+                shrink[i] += sizes[t]
+
+    pending = [0] * n
+    for i, op in enumerate(ops):
+        producers = {t.producer for t in op.inputs if t.producer is not None}
+        pending[i] = len(producers)
+
+    is_ready = [False] * n
+    executed = [False] * n
+    heap: List[Tuple[int, int]] = []
+    for i in range(n):
+        if pending[i] == 0:
+            is_ready[i] = True
+            heapq.heappush(heap, (grow[i] - shrink[i], i))
+
+    order: List[Op] = []
+    while heap:
+        delta, i = heapq.heappop(heap)
+        # skip stale entries: executed, or pushed before a later shrink
+        if executed[i] or delta != grow[i] - shrink[i]:
+            continue
+        executed[i] = True
+        op = ops[i]
+        order.append(op)
+
+        for t, c in uses[i]:
+            remaining[t] -= c
+            rem = remaining[t]
+            if rem == 0:
+                continue
+            # a consumer now holding all remaining uses will free t
+            for j, cj in holders[t]:
+                if cj == rem and not executed[j]:
+                    shrink[j] += sizes[t]
+                    if is_ready[j]:
+                        heapq.heappush(heap, (grow[j] - shrink[j], j))
+        for out in op.outputs:
+            for consumer in out.consumers:
+                j = op_index[consumer]
+                pending[j] -= 1
+                if pending[j] == 0 and not is_ready[j]:
+                    is_ready[j] = True
+                    heapq.heappush(heap, (grow[j] - shrink[j], j))
+    if len(order) != n:
+        raise ValueError(f"graph {graph.name} has a cycle")
+    return order
+
+
+def _memory_greedy_order_reference(graph: Graph,
+                                   sizes: Mapping[Tensor, int]) -> List[Op]:
+    """Seed O(V·ready·degree) greedy scan — the behavioral oracle.
+
+    Kept for equivalence tests against :func:`memory_greedy_order` and
+    as the benchmark baseline; both must yield identical schedules.
     """
     op_index = {op: i for i, op in enumerate(graph.ops)}
     pending: Dict[Op, int] = {}

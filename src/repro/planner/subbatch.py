@@ -20,18 +20,71 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List
+from typing import Callable, List
+
+import numpy as np
 
 from ..analysis.firstorder import FirstOrderModel
 from ..hardware.accelerator import AcceleratorConfig
-from ..hardware.roofline import roofline_time
 from ..symbolic import bisect_increasing
 
-__all__ = ["SubbatchCurvePoint", "SubbatchChoice", "subbatch_curve",
-           "choose_subbatch"]
+__all__ = ["SubbatchCurvePoint", "SubbatchChoice", "CompiledCurves",
+           "subbatch_curve", "choose_subbatch", "compile_curves"]
 
 #: subbatch sizes are chosen on a multiple-of-32 grid (warp-friendly)
 _GRID = 32
+
+
+@dataclass
+class CompiledCurves:
+    """First-order curves specialized to one (params, accelerator) pair.
+
+    ``model.intensity``/``roofline_time`` re-derive ``√p`` and the
+    coefficient products on every call; the planner's candidate scans
+    evaluate these curves hundreds of times per choice, so the
+    invariant structure is folded into constants once and each curve
+    becomes a couple of multiplies.  All callables accept scalars or
+    numpy arrays of subbatch sizes.
+    """
+
+    intensity: Callable[[float], float]
+    step_time: Callable[[float], float]
+    time_per_sample: Callable[[float], float]
+    footprint: Callable[[float], float]
+
+
+def compile_curves(model: FirstOrderModel, params: float,
+                   accel: AcceleratorConfig) -> CompiledCurves:
+    """Fold p-invariant terms of the §5.2.1 curves into constants."""
+    root_p = math.sqrt(params)
+    c1, c2 = model.intensity_coefficients()
+    c1_root_p = c1 * root_p
+    # ct = γ·b·p, at = λ·p + µ·b·√p (per-b slopes/offsets precomputed)
+    compute_slope = model.gamma * params / accel.achievable_flops
+    memory_fixed = model.lam * params / accel.achievable_bandwidth
+    memory_slope = model.mu * root_p / accel.achievable_bandwidth
+    def intensity(b):
+        return b * root_p / (c1_root_p + c2 * b)
+
+    def step_time(b):
+        return np.maximum(compute_slope * b, memory_fixed + memory_slope * b)
+
+    def time_per_sample(b):
+        return step_time(b) / b
+
+    if model.delta is None:
+        def footprint(b):
+            return b * 0.0
+    else:
+        delta_p = model.delta * params
+        phi_root_p = model.phi * root_p
+
+        def footprint(b):
+            return delta_p + phi_root_p * b
+
+    return CompiledCurves(intensity=intensity, step_time=step_time,
+                          time_per_sample=time_per_sample,
+                          footprint=footprint)
 
 
 @dataclass
@@ -59,29 +112,27 @@ class SubbatchChoice:
 def subbatch_curve(model: FirstOrderModel, params: float,
                    accel: AcceleratorConfig,
                    subbatches: List[float]) -> List[SubbatchCurvePoint]:
-    """Evaluate the Figure 11 curves over the given subbatch sizes."""
-    points = []
-    for b in subbatches:
-        ct = model.step_flops(params, b)
-        at = model.step_bytes(params, b)
-        rt = roofline_time(ct, at, accel)
-        footprint = (model.footprint_bytes(params, b)
-                     if model.delta is not None else 0.0)
-        points.append(SubbatchCurvePoint(
-            subbatch=b,
-            intensity=model.intensity(params, b),
-            step_time=rt.step_time,
-            time_per_sample=rt.step_time / b,
-            footprint_bytes=footprint,
-        ))
-    return points
+    """Evaluate the Figure 11 curves over the given subbatch sizes.
 
-
-def _time_per_sample(model: FirstOrderModel, params: float, b: float,
-                     accel: AcceleratorConfig) -> float:
-    rt = roofline_time(model.step_flops(params, b),
-                       model.step_bytes(params, b), accel)
-    return rt.step_time / b
+    The whole candidate list is evaluated vectorized through the
+    compiled curves — one numpy pass instead of a Roofline object per
+    point.
+    """
+    curves = compile_curves(model, params, accel)
+    b = np.asarray(list(subbatches), dtype=float)
+    intensity = np.atleast_1d(curves.intensity(b))
+    step_time = np.atleast_1d(curves.step_time(b))
+    footprint = np.atleast_1d(curves.footprint(b))
+    return [
+        SubbatchCurvePoint(
+            subbatch=float(b[i]),
+            intensity=float(intensity[i]),
+            step_time=float(step_time[i]),
+            time_per_sample=float(step_time[i] / b[i]),
+            footprint_bytes=float(footprint[i]),
+        )
+        for i in range(b.shape[0])
+    ]
 
 
 def choose_subbatch(model: FirstOrderModel, params: float,
@@ -93,18 +144,21 @@ def choose_subbatch(model: FirstOrderModel, params: float,
     The asymptotic per-sample time is the compute-bound limit
     ``max(γ·p/(0.8·xc), µ·√p/(0.7·xa))``; we take the smallest grid
     subbatch within ``tolerance`` of it.
+
+    The root-finding loops drive the compiled curves (invariant terms
+    folded once) rather than re-deriving ``√p`` per probe.
     """
-    import numpy as np
+    curves = compile_curves(model, params, accel)
 
     # intensity is increasing in b; find the ridge crossing
     ridge = bisect_increasing(
-        lambda b: model.intensity(params, b),
+        curves.intensity,
         accel.effective_ridge_point, 1.0, max_subbatch,
     )
 
-    asymptote_intensity = model.intensity(params, max_subbatch)
+    asymptote_intensity = curves.intensity(max_subbatch)
     saturation = bisect_increasing(
-        lambda b: model.intensity(params, b),
+        curves.intensity,
         0.95 * asymptote_intensity, 1.0, max_subbatch,
     )
 
@@ -114,7 +168,7 @@ def choose_subbatch(model: FirstOrderModel, params: float,
     )
     # per-sample time decreases monotonically in b; bisect on -time
     min_latency = bisect_increasing(
-        lambda b: -_time_per_sample(model, params, b, accel),
+        lambda b: -curves.time_per_sample(b),
         -(1.0 + tolerance) * limit, 1.0, max_subbatch,
     )
 

@@ -30,6 +30,7 @@ from .expr import (
     sqrt,
     symbols,
 )
+from .compile import CompiledExpr, compile_batch, compile_expr
 from .poly import asymptotic_ratio, coefficient, degree, expand, leading_term
 from .solve import bisect_increasing, evalf_fn, invert_power_law, power_law
 
@@ -57,4 +58,7 @@ __all__ = [
     "power_law",
     "bisect_increasing",
     "evalf_fn",
+    "CompiledExpr",
+    "compile_expr",
+    "compile_batch",
 ]

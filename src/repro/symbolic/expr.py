@@ -71,6 +71,27 @@ def as_expr(value: Union["Expr", Number]) -> "Expr":
     return Const(_to_fraction(value))
 
 
+def _normalize_bindings(bindings):
+    """Canonicalize an evalf bindings mapping to Symbol keys.
+
+    Callers may key bindings by ``Symbol`` or by plain name; resolving
+    the name-keyed form once here keeps the recursive evaluation to a
+    single dict probe per symbol (instead of two probes per occurrence).
+    Returns the input unchanged when no string keys are present.
+    """
+    if not bindings:
+        return None
+    for key in bindings:
+        if isinstance(key, str):
+            break
+    else:
+        return bindings
+    return {
+        Symbol(key) if isinstance(key, str) else key: value
+        for key, value in bindings.items()
+    }
+
+
 class Expr:
     """Base class of all symbolic expressions.
 
@@ -147,7 +168,15 @@ class Expr:
         raise NotImplementedError
 
     def evalf(self, bindings: Mapping["Symbol", Number] = None) -> float:
-        """Evaluate to a float, given numeric bindings for all symbols."""
+        """Evaluate to a float, given numeric bindings for all symbols.
+
+        ``bindings`` may key symbols by ``Symbol`` object or by name;
+        name keys are canonicalized once here, at the boundary.
+        """
+        return self._evalf(_normalize_bindings(bindings))
+
+    def _evalf(self, bindings) -> float:
+        """Recursive evaluation with canonically (Symbol-)keyed bindings."""
         raise NotImplementedError
 
     def as_fraction(self) -> Fraction:
@@ -186,7 +215,7 @@ class Const(Expr):
     def subs(self, mapping) -> "Expr":
         return self
 
-    def evalf(self, bindings=None) -> float:
+    def _evalf(self, bindings) -> float:
         return float(self.value)
 
     def as_fraction(self) -> Fraction:
@@ -226,13 +255,13 @@ class Symbol(Expr):
             return as_expr(mapping[self.name])
         return self
 
-    def evalf(self, bindings=None) -> float:
-        if bindings:
-            if self in bindings:
-                return float(bindings[self])
-            if self.name in bindings:
-                return float(bindings[self.name])
-        raise ValueError(f"unbound symbol {self.name!r} in evalf")
+    def _evalf(self, bindings) -> float:
+        try:
+            return float(bindings[self])
+        except (KeyError, TypeError):
+            raise ValueError(
+                f"unbound symbol {self.name!r} in evalf"
+            ) from None
 
     def sort_key(self) -> tuple:
         return (1, self.name)
@@ -317,10 +346,10 @@ class Add(Expr):
             parts.append(Mul.of(Const(coeff), term.subs(mapping)))
         return Add.of(*parts)
 
-    def evalf(self, bindings=None) -> float:
+    def _evalf(self, bindings) -> float:
         total = float(self.const)
         for term, coeff in self.terms:
-            total += float(coeff) * term.evalf(bindings)
+            total += float(coeff) * term._evalf(bindings)
         return total
 
     def as_fraction(self) -> Fraction:
@@ -466,10 +495,10 @@ class Mul(Expr):
             parts.append(Pow.of(base.subs(mapping), exponent.subs(mapping)))
         return Mul.of(*parts)
 
-    def evalf(self, bindings=None) -> float:
+    def _evalf(self, bindings) -> float:
         total = float(self.coeff)
         for base, exponent in self.factors:
-            total *= base.evalf(bindings) ** exponent.evalf(bindings)
+            total *= base._evalf(bindings) ** exponent._evalf(bindings)
         return total
 
     def as_fraction(self) -> Fraction:
@@ -570,8 +599,8 @@ class Pow(Expr):
     def subs(self, mapping) -> Expr:
         return Pow.of(self.base.subs(mapping), self.exponent.subs(mapping))
 
-    def evalf(self, bindings=None) -> float:
-        return self.base.evalf(bindings) ** self.exponent.evalf(bindings)
+    def _evalf(self, bindings) -> float:
+        return self.base._evalf(bindings) ** self.exponent._evalf(bindings)
 
     def sort_key(self) -> tuple:
         return (2, self.base.sort_key(), self.exponent.sort_key())
@@ -630,8 +659,8 @@ class Max(_Func):
     def subs(self, mapping) -> Expr:
         return Max.of(*(a.subs(mapping) for a in self.fargs))
 
-    def evalf(self, bindings=None) -> float:
-        return max(a.evalf(bindings) for a in self.fargs)
+    def _evalf(self, bindings) -> float:
+        return max(a._evalf(bindings) for a in self.fargs)
 
 
 class Min(_Func):
@@ -666,8 +695,8 @@ class Min(_Func):
     def subs(self, mapping) -> Expr:
         return Min.of(*(a.subs(mapping) for a in self.fargs))
 
-    def evalf(self, bindings=None) -> float:
-        return min(a.evalf(bindings) for a in self.fargs)
+    def _evalf(self, bindings) -> float:
+        return min(a._evalf(bindings) for a in self.fargs)
 
 
 class Ceil(_Func):
@@ -688,8 +717,8 @@ class Ceil(_Func):
     def subs(self, mapping) -> Expr:
         return Ceil.of(self.fargs[0].subs(mapping))
 
-    def evalf(self, bindings=None) -> float:
-        return float(math.ceil(self.fargs[0].evalf(bindings) - 1e-12))
+    def _evalf(self, bindings) -> float:
+        return float(math.ceil(self.fargs[0]._evalf(bindings) - 1e-12))
 
 
 class Floor(_Func):
@@ -710,8 +739,8 @@ class Floor(_Func):
     def subs(self, mapping) -> Expr:
         return Floor.of(self.fargs[0].subs(mapping))
 
-    def evalf(self, bindings=None) -> float:
-        return float(math.floor(self.fargs[0].evalf(bindings) + 1e-12))
+    def _evalf(self, bindings) -> float:
+        return float(math.floor(self.fargs[0]._evalf(bindings) + 1e-12))
 
 
 class Log(_Func):
@@ -733,8 +762,8 @@ class Log(_Func):
     def subs(self, mapping) -> Expr:
         return Log.of(self.fargs[0].subs(mapping))
 
-    def evalf(self, bindings=None) -> float:
-        return math.log(self.fargs[0].evalf(bindings))
+    def _evalf(self, bindings) -> float:
+        return math.log(self.fargs[0]._evalf(bindings))
 
 
 def sqrt(arg: Union[Expr, Number]) -> Expr:

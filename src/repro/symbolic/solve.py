@@ -14,6 +14,7 @@ import math
 import sys
 from typing import Callable, Mapping
 
+from .compile import compile_expr
 from .expr import Expr, Symbol
 
 __all__ = ["invert_power_law", "power_law", "bisect_increasing", "evalf_fn"]
@@ -52,14 +53,28 @@ def evalf_fn(expr: Expr, sym: Symbol,
              fixed: Mapping = None) -> Callable[[float], float]:
     """Compile an Expr into a float function of one symbol.
 
-    ``fixed`` supplies bindings for every other free symbol.
+    ``fixed`` supplies bindings for every other free symbol.  The
+    expression is lowered once to a slot-based tape
+    (:mod:`repro.symbolic.compile`); ``fixed`` is resolved to the input
+    vector here, so each call only writes one slot and replays the tape
+    — no per-call dict rebuilding inside root-finding loops.
     """
-    fixed = dict(fixed or {})
+    program = compile_expr(expr)
+    base = program.bind_vector(fixed or {}, partial=True)
+    try:
+        slot = program.slot_of(sym)
+    except KeyError:
+        # ``expr`` is constant in ``sym``; evaluation stays deferred so
+        # unbound-symbol errors still surface on call, like the
+        # tree-walk closure did.
+        def fn_const(x: float) -> float:
+            return program.eval_vector(base)
+
+        return fn_const
 
     def fn(x: float) -> float:
-        bindings = dict(fixed)
-        bindings[sym] = x
-        return expr.evalf(bindings)
+        base[slot] = float(x)
+        return program.eval_vector(base)
 
     return fn
 

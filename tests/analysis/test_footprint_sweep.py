@@ -74,10 +74,41 @@ class TestSweep:
         fl = [r.flops_per_sample for r in result.rows]
         assert fl == sorted(fl)
 
-    def test_sweep_memoized(self):
+    def test_sweep_memoized_with_defensive_copies(self):
+        """The cache reuses the computed sweep but callers get copies:
+        mutating one result must not corrupt later consumers."""
         a = sweep_domain("image", sizes=[1, 2], include_footprint=False)
         b = sweep_domain("image", sizes=[1, 2], include_footprint=False)
-        assert a is b
+        assert a is not b
+        assert a.rows == b.rows
+        assert a.fitted == b.fitted
+        a.rows[0].params = -1.0
+        a.symbolic.phi = 123.0
+        c = sweep_domain("image", sizes=[1, 2], include_footprint=False)
+        assert c.rows == b.rows
+        assert c.symbolic.phi == b.symbolic.phi
+
+    def test_sweep_cache_is_bounded(self):
+        from repro.analysis import sweep as sweep_mod
+
+        sweep_domain("image", sizes=[1, 2], include_footprint=False)
+        sweep_domain("image", sizes=[2, 3], include_footprint=False)
+        assert len(sweep_mod._SWEEP_CACHE) <= sweep_mod._SWEEP_CACHE_MAX
+
+    def test_engines_agree(self):
+        """Compiled/vectorized sweep matches the seed tree-walk path."""
+        from repro.analysis.sweep import _sweep_domain_uncached
+
+        fast = _sweep_domain_uncached("image", sizes=[1, 2],
+                                      engine="compiled")
+        slow = _sweep_domain_uncached("image", sizes=[1, 2],
+                                      engine="treewalk")
+        for ra, rb in zip(fast.rows, slow.rows):
+            for name in ("params", "flops_per_sample", "step_bytes",
+                         "intensity", "footprint_bytes", "bytes_fixed",
+                         "bytes_per_sample"):
+                va, vb = getattr(ra, name), getattr(rb, name)
+                assert va == pytest.approx(vb, rel=1e-9), name
 
     def test_sweep_without_footprint_has_no_delta(self):
         result = sweep_domain("image", sizes=(1, 2),

@@ -148,6 +148,30 @@ class TestMemoryGreedy:
             memory_greedy_order(g, evaluate_sizes(g))
 
 
+    def test_greedy_matches_reference_scan(self):
+        """The incremental-heap schedule must equal the seed O(V·ready)
+        rescan op for op — same order, not merely same peak."""
+        from repro.graph.traversal import _memory_greedy_order_reference
+        from repro.models import build_word_lm
+
+        model = build_word_lm(seq_len=6, vocab=120,
+                              layers=2).with_training_step()
+        g = model.graph
+        for binding in ({"b": 4, "h": 16}, {"b": 64, "h": 48}):
+            sizes = evaluate_sizes(g, binding)
+            fast = memory_greedy_order(g, sizes)
+            reference = _memory_greedy_order_reference(g, sizes)
+            assert [op.name for op in fast] == [op.name for op in reference]
+
+    def test_greedy_matches_reference_on_diamond(self):
+        from repro.graph.traversal import _memory_greedy_order_reference
+
+        g = diamond_graph()
+        sizes = evaluate_sizes(g)
+        assert memory_greedy_order(g, sizes) == \
+            _memory_greedy_order_reference(g, sizes)
+
+
 class TestEvaluateSizes:
     def test_concrete_bindings(self):
         g = Graph()
@@ -160,3 +184,31 @@ class TestEvaluateSizes:
         g.tensor("t", (b,))
         with pytest.raises(ValueError):
             evaluate_sizes(g)
+
+    def test_matches_treewalk_reference(self):
+        from repro.graph.traversal import _evaluate_sizes_treewalk
+        from repro.models import build_word_lm
+
+        g = build_word_lm(seq_len=5, vocab=200,
+                          layers=1).with_training_step().graph
+        binding = {"b": 8, "h": 32}
+        assert evaluate_sizes(g, binding) == \
+            _evaluate_sizes_treewalk(g, binding)
+
+    def test_evaluate_sizes_many_matches_scalar(self):
+        from repro.graph.traversal import evaluate_sizes_many
+
+        g = Graph()
+        g.tensor("t", (b, h))
+        g.tensor("u", (h, h))
+        rows = [{b: 3, h: 5}, {b: 7, h: 11}]
+        assert evaluate_sizes_many(g, rows) == \
+            [evaluate_sizes(g, r) for r in rows]
+
+    def test_program_recompiles_when_graph_grows(self):
+        g = Graph()
+        t = g.tensor("t", (b,))
+        assert evaluate_sizes(g, {b: 2})[t] == 8
+        u = g.tensor("u", (b, b))
+        sizes = evaluate_sizes(g, {b: 3})
+        assert sizes[u] == 36 and sizes[t] == 12
