@@ -13,14 +13,20 @@ PR's acceptance criterion: the compiled sweep on the largest stock
 domain (word_lm) is at least 5x faster than the tree walk, with every
 row matching to 1e-9 relative.
 
+Alongside the timings, the JSON records ``cache_stats`` deltas from
+the :mod:`repro.obs` counters — tape-cache, size-program-cache, and
+sweep-cache hits/misses observed during the run — so a bench artifact
+shows cache *effectiveness*, not just speedup.
+
 Run:  pytest benchmarks/bench_compile_eval.py -s
 """
 
 from dataclasses import fields
 from time import perf_counter
 
+from repro import obs
 from repro.analysis.counters import _SWEEP_AGGREGATES, StepCounts
-from repro.analysis.sweep import _sweep_domain_uncached
+from repro.analysis.sweep import _sweep_domain_uncached, sweep_domain
 from repro.graph.traversal import (
     _evaluate_sizes_treewalk,
     evaluate_sizes,
@@ -29,6 +35,33 @@ from repro.graph.traversal import (
 from repro.models.registry import build_symbolic, get_domain
 
 DOMAINS = ("word_lm", "image")  # word LM + ResNet, per the paper's Fig 7
+
+#: obs counters snapshotted around each benchmark phase
+_CACHE_COUNTERS = {
+    "tape_cache": ("analysis.tape_cache.hit", "analysis.tape_cache.miss"),
+    "size_program_cache": ("graph.size_program.cache.hit",
+                           "graph.size_program.cache.miss"),
+    "sweep_cache": ("analysis.sweep.cache.hit",
+                    "analysis.sweep.cache.miss",
+                    "analysis.sweep.cache.eviction"),
+}
+
+
+def _counter_snapshot() -> dict:
+    return {name: obs.counter(name).value
+            for names in _CACHE_COUNTERS.values() for name in names}
+
+
+def _cache_delta(before: dict) -> dict:
+    """Per-cache hit/miss deltas since ``before`` (grouped, short keys)."""
+    after = _counter_snapshot()
+    out = {}
+    for cache, names in _CACHE_COUNTERS.items():
+        out[cache] = {
+            name.rsplit(".", 1)[-1]: after[name] - before[name]
+            for name in names
+        }
+    return out
 
 
 def _timed(fn):
@@ -132,9 +165,11 @@ def _bench_sweep(key: str) -> dict:
     treewalk_s, slow = _timed(
         lambda: _sweep_domain_uncached(key, engine="treewalk")
     )
+    before = _counter_snapshot()
     compiled_s, fast = _timed(
         lambda: _sweep_domain_uncached(key, engine="compiled")
     )
+    cache_stats = _cache_delta(before)
 
     err = max(
         _rel_err(getattr(ra, f.name), getattr(rb, f.name))
@@ -149,7 +184,20 @@ def _bench_sweep(key: str) -> dict:
         "compiled_s": round(compiled_s, 6),
         "speedup": round(treewalk_s / compiled_s, 2),
         "max_rel_err": err,
+        "cache_stats": cache_stats,
     }
+
+
+def _bench_sweep_cache(key: str) -> dict:
+    """Memoized-sweep effectiveness: cold miss, then a warm hit."""
+    before = _counter_snapshot()
+    cold_s, _ = _timed(lambda: sweep_domain(key))
+    warm_s, _ = _timed(lambda: sweep_domain(key))
+    stats = _cache_delta(before)
+    stats["cold_s"] = round(cold_s, 6)
+    stats["warm_s"] = round(warm_s, 6)
+    stats["warm_speedup"] = round(cold_s / warm_s, 2) if warm_s else 0.0
+    return stats
 
 
 def test_compile_eval(bench_json):
@@ -157,15 +205,22 @@ def test_compile_eval(bench_json):
         "aggregates": {k: _bench_aggregates(k) for k in DOMAINS},
         "tensor_sizes": {k: _bench_tensor_sizes(k) for k in DOMAINS},
         "sweep_domain": {k: _bench_sweep(k) for k in DOMAINS},
+        "sweep_cache": {k: _bench_sweep_cache(k) for k in DOMAINS},
     }
     path = bench_json("BENCH_compile_eval", results)
 
     print()
     for section, per_domain in results.items():
         for key, stats in per_domain.items():
+            if "treewalk_s" not in stats:
+                continue
             speed = stats.get("speedup", stats.get("speedup_vectorized"))
             print(f"{section:>13} {key:<8} treewalk {stats['treewalk_s']:8.3f}s"
                   f"  compiled {stats['compiled_s']:8.3f}s  {speed:6.1f}x")
+    for key, stats in results["sweep_cache"].items():
+        print(f"  sweep_cache {key:<8} cold {stats['cold_s']:8.3f}s"
+              f"  warm {stats['warm_s']:8.3f}s"
+              f"  hits {stats['sweep_cache']['hit']}")
     print(f"wrote {path}")
 
     # acceptance: >=5x on the largest stock domain's full sweep

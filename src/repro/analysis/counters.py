@@ -20,9 +20,16 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..models.base import BuiltModel
+from ..obs.metrics import counter as _obs_counter
 from ..symbolic import CompiledExpr, Expr, coefficient, compile_batch, compile_expr
 
 __all__ = ["StepCounts"]
+
+# Effectiveness of the per-StepCounts tape cache: a hit means a sweep
+# or report evaluation replayed an existing tape instead of recompiling
+# its aggregate expressions.
+_TAPE_HIT = _obs_counter("analysis.tape_cache.hit")
+_TAPE_MISS = _obs_counter("analysis.tape_cache.miss")
 
 #: aggregates evaluated per sweep row, in SweepRow order
 _SWEEP_AGGREGATES: Tuple[str, ...] = (
@@ -122,10 +129,13 @@ class StepCounts:
         key = tuple(names)
         program = self._compiled.get(key)
         if program is None:
+            _TAPE_MISS.inc()
             exprs = [getattr(self, n) for n in names]
             program = (compile_expr(exprs[0]) if len(exprs) == 1
                        else compile_batch(exprs))
             self._compiled[key] = program
+        else:
+            _TAPE_HIT.inc()
         return program
 
     def sweep_series(self, sizes: Sequence[float],

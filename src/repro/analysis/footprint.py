@@ -28,6 +28,7 @@ from ..graph.traversal import (
     _memory_greedy_order_reference,
 )
 from ..models.base import BuiltModel
+from ..obs.tracer import TRACER as _TRACER
 
 __all__ = ["FootprintEstimate", "estimate_footprint"]
 
@@ -80,6 +81,15 @@ def estimate_footprint(model: BuiltModel,
     if engine not in ("compiled", "treewalk"):
         raise ValueError(f"unknown footprint engine {engine!r}")
     graph = model.graph
+    with _TRACER.span("analysis.footprint", "footprint",
+                      graph=graph.name, engine=engine,
+                      use_greedy=use_greedy):
+        return _estimate_footprint(graph, bindings, use_greedy,
+                                   inplace, engine)
+
+
+def _estimate_footprint(graph, bindings, use_greedy, inplace,
+                        engine) -> FootprintEstimate:
     if engine == "treewalk":
         sizes = _evaluate_sizes_treewalk(graph, bindings)
         greedy_schedule = _memory_greedy_order_reference

@@ -21,12 +21,20 @@ from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import List, Optional
 
+from .. import obs
 from ..models.registry import DomainEntry, build_symbolic, get_domain
 from .counters import StepCounts
 from .firstorder import FirstOrderModel, derive_symbolic, fit_numeric
 from .footprint import estimate_footprint
 
 __all__ = ["SweepResult", "SweepRow", "sweep_domain"]
+
+# Sweep-cache effectiveness: a hit means a report reused a memoized
+# domain sweep; evictions mean the LRU bound displaced one.
+_CACHE_HIT = obs.counter("analysis.sweep.cache.hit")
+_CACHE_MISS = obs.counter("analysis.sweep.cache.miss")
+_CACHE_EVICT = obs.counter("analysis.sweep.cache.eviction")
+_POINTS = obs.counter("analysis.sweep.points")
 
 #: greedy scheduling is O(V·ready) in treewalk mode; skip it above this
 #: op count and use program order (the difference is small for these
@@ -114,14 +122,17 @@ def sweep_domain(key: str, *, subbatch: Optional[int] = None,
                  tuple(sizes) if sizes is not None else None, engine)
     cached = _SWEEP_CACHE.get(cache_key)
     if cached is not None:
+        _CACHE_HIT.inc()
         _SWEEP_CACHE.move_to_end(cache_key)
         return _copy_result(cached)
+    _CACHE_MISS.inc()
     result = _sweep_domain_uncached(key, subbatch=subbatch,
                                     include_footprint=include_footprint,
                                     sizes=sizes, engine=engine)
     _SWEEP_CACHE[cache_key] = result
     while len(_SWEEP_CACHE) > _SWEEP_CACHE_MAX:
         _SWEEP_CACHE.popitem(last=False)
+        _CACHE_EVICT.inc()
     return _copy_result(result)
 
 
@@ -137,63 +148,78 @@ def _sweep_domain_uncached(key: str, *, subbatch: Optional[int] = None,
     subbatch = subbatch if subbatch is not None else entry.subbatch
     sizes = list(sizes) if sizes is not None else list(entry.sweep_sizes)
 
-    result = SweepResult(domain=key, subbatch=subbatch)
-    use_greedy = len(model.graph) <= _GREEDY_OP_LIMIT
+    with obs.span("analysis.sweep", "sweep", domain=key, engine=engine,
+                  subbatch=subbatch, n_sizes=len(sizes)):
+        result = SweepResult(domain=key, subbatch=subbatch)
+        use_greedy = len(model.graph) <= _GREEDY_OP_LIMIT
+        _POINTS.inc(len(sizes))
 
-    footprints = []
+        footprints = []
 
-    def footprint_at(size: float) -> float:
-        if not include_footprint:
-            return 0.0
-        value = float(
-            estimate_footprint(model, counts.bind(size, subbatch),
-                               use_greedy=use_greedy,
-                               engine=engine).minimal_bytes
-        )
-        footprints.append(value)
-        return value
+        def footprint_at(size: float) -> float:
+            if not include_footprint:
+                return 0.0
+            value = float(
+                estimate_footprint(model, counts.bind(size, subbatch),
+                                   use_greedy=use_greedy,
+                                   engine=engine).minimal_bytes
+            )
+            footprints.append(value)
+            return value
 
-    if engine == "compiled":
-        series = counts.sweep_series(sizes, subbatch)
-        for i, size in enumerate(sizes):
-            result.rows.append(SweepRow(
-                size=size,
-                params=float(series["params"][i]),
-                flops_per_sample=float(series["flops_per_sample"][i]),
-                step_bytes=float(series["step_bytes"][i]),
-                intensity=float(series["intensity"][i]),
-                footprint_bytes=footprint_at(size),
-                bytes_fixed=float(series["bytes_fixed"][i]),
-                bytes_per_sample=float(series["bytes_per_sample"][i]),
-            ))
-    else:
-        # seed path: one recursive tree walk per aggregate per size
-        for size in sizes:
-            bindings = counts.bind(size, subbatch)
-            result.rows.append(SweepRow(
-                size=size,
-                params=counts.params.evalf(bindings),
-                flops_per_sample=counts.flops_per_sample.evalf(bindings),
-                step_bytes=counts.step_bytes.evalf(bindings),
-                intensity=_treewalk_intensity(counts, bindings),
-                footprint_bytes=footprint_at(size),
-                bytes_fixed=counts.bytes_fixed.evalf(bindings),
-                bytes_per_sample=counts.bytes_per_sample.evalf(bindings),
-            ))
+        if engine == "compiled":
+            with obs.span("sweep.aggregates", "sweep", domain=key):
+                series = counts.sweep_series(sizes, subbatch)
+            for i, size in enumerate(sizes):
+                with obs.span("sweep.point", "sweep", domain=key,
+                              size=size):
+                    result.rows.append(SweepRow(
+                        size=size,
+                        params=float(series["params"][i]),
+                        flops_per_sample=float(
+                            series["flops_per_sample"][i]),
+                        step_bytes=float(series["step_bytes"][i]),
+                        intensity=float(series["intensity"][i]),
+                        footprint_bytes=footprint_at(size),
+                        bytes_fixed=float(series["bytes_fixed"][i]),
+                        bytes_per_sample=float(
+                            series["bytes_per_sample"][i]),
+                    ))
+        else:
+            # seed path: one recursive tree walk per aggregate per size
+            for size in sizes:
+                with obs.span("sweep.point", "sweep", domain=key,
+                              size=size):
+                    bindings = counts.bind(size, subbatch)
+                    result.rows.append(SweepRow(
+                        size=size,
+                        params=counts.params.evalf(bindings),
+                        flops_per_sample=counts.flops_per_sample.evalf(
+                            bindings),
+                        step_bytes=counts.step_bytes.evalf(bindings),
+                        intensity=_treewalk_intensity(counts, bindings),
+                        footprint_bytes=footprint_at(size),
+                        bytes_fixed=counts.bytes_fixed.evalf(bindings),
+                        bytes_per_sample=counts.bytes_per_sample.evalf(
+                            bindings),
+                    ))
 
-    result.fitted = fit_numeric(
-        key,
-        [r.params for r in result.rows],
-        [r.flops_per_sample for r in result.rows],
-        [r.bytes_fixed for r in result.rows],
-        [r.bytes_per_sample for r in result.rows],
-        footprints or None,
-        footprint_subbatch=subbatch,
-    )
-    # footprint has no closed symbolic form: reuse the numeric fit
-    result.symbolic = derive_symbolic(counts, delta=result.fitted.delta)
-    result.symbolic.phi = result.fitted.phi
-    return result
+        with obs.span("sweep.fit", "sweep", domain=key):
+            result.fitted = fit_numeric(
+                key,
+                [r.params for r in result.rows],
+                [r.flops_per_sample for r in result.rows],
+                [r.bytes_fixed for r in result.rows],
+                [r.bytes_per_sample for r in result.rows],
+                footprints or None,
+                footprint_subbatch=subbatch,
+            )
+            # footprint has no closed symbolic form: reuse the numeric
+            # fit
+            result.symbolic = derive_symbolic(counts,
+                                              delta=result.fitted.delta)
+            result.symbolic.phi = result.fitted.phi
+        return result
 
 
 def _treewalk_intensity(counts: StepCounts, bindings) -> float:

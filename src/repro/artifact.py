@@ -18,6 +18,7 @@ import argparse
 import os
 from typing import List, Optional, Sequence, Tuple
 
+from . import obs
 from .analysis.counters import StepCounts
 from .models.registry import DOMAINS, build_symbolic
 from .reports.common import Table, si
@@ -48,37 +49,43 @@ def generate_results(out_dir: str,
     summary_rows = []
 
     for key, size in configs:
-        model = build_symbolic(key)
-        subbatch = DOMAINS[key].subbatch
-        report = describe_model(model, size=size, subbatch=subbatch)
-        path = os.path.join(out_dir, f"output_{key}_{size:g}.txt")
-        with open(path, "w") as handle:
-            handle.write(report + "\n")
-        written.append(path)
+        # one span per generated artifact file, like the CLI's one
+        # span per table/figure
+        with obs.span("artifact.output", "artifact", domain=key,
+                      size=size):
+            model = build_symbolic(key)
+            subbatch = DOMAINS[key].subbatch
+            report = describe_model(model, size=size, subbatch=subbatch)
+            path = os.path.join(out_dir, f"output_{key}_{size:g}.txt")
+            with open(path, "w") as handle:
+                handle.write(report + "\n")
+            written.append(path)
 
-        counts = StepCounts(model)
-        bindings = counts.bind(size, subbatch)
-        ct = counts.step_flops.evalf(bindings)
-        at = counts.step_bytes.evalf(bindings)
-        summary_rows.append([
-            DOMAINS[key].display,
-            f"{size:g}",
-            si(counts.params.evalf(bindings)),
-            si(ct) + "FLOP",
-            si(at) + "B",
-            f"{ct / at:.1f}",
-        ])
+            counts = StepCounts(model)
+            bindings = counts.bind(size, subbatch)
+            ct = counts.step_flops.evalf(bindings)
+            at = counts.step_bytes.evalf(bindings)
+            summary_rows.append([
+                DOMAINS[key].display,
+                f"{size:g}",
+                si(counts.params.evalf(bindings)),
+                si(ct) + "FLOP",
+                si(at) + "B",
+                f"{ct / at:.1f}",
+            ])
 
-    summary = Table(
-        title="Gathered results (per training step)",
-        headers=["Domain", "Size", "Params", "FLOPs/step", "Bytes/step",
-                 "Intensity"],
-        rows=summary_rows,
-    )
-    summary_path = os.path.join(out_dir, "summary.txt")
-    with open(summary_path, "w") as handle:
-        handle.write(summary.render() + "\n")
-    written.append(summary_path)
+    with obs.span("artifact.summary", "artifact",
+                  n_configs=len(configs)):
+        summary = Table(
+            title="Gathered results (per training step)",
+            headers=["Domain", "Size", "Params", "FLOPs/step",
+                     "Bytes/step", "Intensity"],
+            rows=summary_rows,
+        )
+        summary_path = os.path.join(out_dir, "summary.txt")
+        with open(summary_path, "w") as handle:
+            handle.write(summary.render() + "\n")
+        written.append(summary_path)
     return written
 
 
@@ -90,10 +97,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--out", default="ppopp_2019_outputs",
                         help="output directory")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a Chrome trace_events JSON of the "
+                             "batch run (chrome://tracing / Perfetto)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the repro.obs metrics summary "
+                             "after generating")
     args = parser.parse_args(argv)
+    if args.trace or args.metrics:
+        obs.enable()
     files = generate_results(args.out)
     for path in files:
         print(f"wrote {path}")
+    if args.trace:
+        print(f"wrote {obs.write_chrome_trace(args.trace)}")
+    if args.metrics:
+        print()
+        print(obs.summary())
     return 0
 
 

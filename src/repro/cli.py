@@ -6,6 +6,18 @@ terminal::
     repro-report table1
     repro-report fig9 --csv > fig9.csv
     repro-report all
+
+With the :mod:`repro.obs` flags the same run is also profiled —
+``--trace`` writes a Chrome ``trace_events`` JSON (open in
+``chrome://tracing`` or https://ui.perfetto.dev) with one span per
+report plus every sweep point, tape compile, and schedule underneath
+it, and ``--metrics`` prints the counter/histogram summary (cache hit
+rates, tape statistics) after the reports::
+
+    repro-report table1 --trace /tmp/t.json --metrics
+    repro-report fig10 --trace fig10.json --trace-jsonl fig10.jsonl
+
+Diagnostics go to stderr so ``--csv`` output stays pipeable.
 """
 
 from __future__ import annotations
@@ -14,6 +26,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from . import obs
 from .reports import ALL_REPORTS
 
 __all__ = ["main"]
@@ -50,20 +63,58 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--subbatch", type=int, default=None,
         help="(describe) subbatch size; defaults to the Table 3 choice",
     )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="enable repro.obs tracing and write a Chrome "
+             "trace_events JSON to PATH (chrome://tracing / Perfetto)",
+    )
+    parser.add_argument(
+        "--trace-jsonl", metavar="PATH", default=None,
+        help="enable tracing and write one JSON object per span to "
+             "PATH (for jq/pandas)",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the repro.obs span/metrics summary to stderr "
+             "after the reports",
+    )
     args = parser.parse_args(argv)
+
+    observing = bool(args.trace or args.trace_jsonl or args.metrics)
+    if observing:
+        obs.enable()
 
     if args.exhibit == "describe":
         from .reports import describe_domain
 
-        print(describe_domain(args.domain, size=args.size,
-                              subbatch=args.subbatch))
-        return 0
+        with obs.span("report.describe", "report", domain=args.domain):
+            print(describe_domain(args.domain, size=args.size,
+                                  subbatch=args.subbatch))
+    else:
+        names = (sorted(ALL_REPORTS) if args.exhibit == "all"
+                 else [args.exhibit])
+        for name in names:
+            # one span per table/figure: generation and rendering are
+            # child phases so the trace shows where the time went
+            with obs.span(f"report.{name}", "report"):
+                with obs.span("report.generate", "report",
+                              exhibit=name):
+                    report = ALL_REPORTS[name]()
+                with obs.span("report.render", "report", exhibit=name,
+                              csv=args.csv):
+                    out = report.to_csv() if args.csv \
+                        else report.render()
+            print(out)
+            print()
 
-    names = sorted(ALL_REPORTS) if args.exhibit == "all" else [args.exhibit]
-    for name in names:
-        report = ALL_REPORTS[name]()
-        print(report.to_csv() if args.csv else report.render())
-        print()
+    if args.trace:
+        path = obs.write_chrome_trace(args.trace)
+        print(f"wrote Chrome trace: {path}", file=sys.stderr)
+    if args.trace_jsonl:
+        path = obs.write_jsonl(args.trace_jsonl)
+        print(f"wrote span JSONL: {path}", file=sys.stderr)
+    if args.metrics:
+        print(obs.summary(), file=sys.stderr)
     return 0
 
 

@@ -21,6 +21,8 @@ import heapq
 import weakref
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..obs.metrics import counter as _obs_counter
+from ..obs.tracer import TRACER as _TRACER
 from ..symbolic.compile import CompiledExpr, compile_batch
 from .graph import Graph
 from .op import Op
@@ -75,6 +77,15 @@ _SIZE_PROGRAMS: "weakref.WeakKeyDictionary[Graph, tuple]" = (
     weakref.WeakKeyDictionary()
 )
 
+# Size-program cache effectiveness (a miss batch-compiles every tensor
+# size expression of the graph) and greedy-scheduler heap traffic.
+_SIZE_HIT = _obs_counter("graph.size_program.cache.hit")
+_SIZE_MISS = _obs_counter("graph.size_program.cache.miss")
+_HEAP_PUSHES = _obs_counter("graph.greedy.heap_pushes")
+_HEAP_POPS = _obs_counter("graph.greedy.heap_pops")
+_HEAP_STALE = _obs_counter("graph.greedy.stale_skips")
+_SCHEDULES = _obs_counter("graph.greedy.schedules")
+
 
 def size_program(graph: Graph) -> Tuple[Tuple[Tensor, ...], CompiledExpr]:
     """Batch-compile every tensor's byte-size expression (cached).
@@ -87,10 +98,16 @@ def size_program(graph: Graph) -> Tuple[Tuple[Tensor, ...], CompiledExpr]:
     """
     cached = _SIZE_PROGRAMS.get(graph)
     if cached is None or cached[0] != len(graph.tensors):
-        tensors = tuple(graph.tensors.values())
-        program = compile_batch([t.size_bytes() for t in tensors])
+        _SIZE_MISS.inc()
+        with _TRACER.span("graph.size_program.compile", "compile",
+                          graph=graph.name,
+                          n_tensors=len(graph.tensors)):
+            tensors = tuple(graph.tensors.values())
+            program = compile_batch([t.size_bytes() for t in tensors])
         cached = (len(tensors), tensors, program)
         _SIZE_PROGRAMS[graph] = cached
+    else:
+        _SIZE_HIT.inc()
     return cached[1], cached[2]
 
 
@@ -196,17 +213,23 @@ def memory_greedy_order(graph: Graph,
 
     is_ready = [False] * n
     executed = [False] * n
+    # heap traffic is counted in locals (one add per heap op) and
+    # flushed to the metrics registry once per schedule
+    pushes = pops = stale = 0
     heap: List[Tuple[int, int]] = []
     for i in range(n):
         if pending[i] == 0:
             is_ready[i] = True
             heapq.heappush(heap, (grow[i] - shrink[i], i))
+            pushes += 1
 
     order: List[Op] = []
     while heap:
         delta, i = heapq.heappop(heap)
+        pops += 1
         # skip stale entries: executed, or pushed before a later shrink
         if executed[i] or delta != grow[i] - shrink[i]:
+            stale += 1
             continue
         executed[i] = True
         op = ops[i]
@@ -223,6 +246,7 @@ def memory_greedy_order(graph: Graph,
                     shrink[j] += sizes[t]
                     if is_ready[j]:
                         heapq.heappush(heap, (grow[j] - shrink[j], j))
+                        pushes += 1
         for out in op.outputs:
             for consumer in out.consumers:
                 j = op_index[consumer]
@@ -230,6 +254,11 @@ def memory_greedy_order(graph: Graph,
                 if pending[j] == 0 and not is_ready[j]:
                     is_ready[j] = True
                     heapq.heappush(heap, (grow[j] - shrink[j], j))
+                    pushes += 1
+    _SCHEDULES.inc()
+    _HEAP_PUSHES.inc(pushes)
+    _HEAP_POPS.inc(pops)
+    _HEAP_STALE.inc(stale)
     if len(order) != n:
         raise ValueError(f"graph {graph.name} has a cycle")
     return order

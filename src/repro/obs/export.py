@@ -1,0 +1,208 @@
+"""Exporters: Chrome trace JSON, JSONL event stream, summary tables.
+
+Three consumers, three formats:
+
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  ``trace_events`` JSON object format (``{"traceEvents": [...]}``),
+  loadable in ``chrome://tracing`` or https://ui.perfetto.dev.  Spans
+  become complete (``"ph": "X"``) events with microsecond timestamps
+  relative to the earliest span; counters are appended as ``"C"``
+  events so Perfetto renders them as tracks; the full metrics snapshot
+  rides along under the (spec-permitted) extra ``"metrics"`` key.
+* :func:`jsonl_events` / :func:`write_jsonl` — one JSON object per
+  line, one line per span, for ad-hoc ``jq``/pandas analysis.
+* :func:`span_summary_table` / :func:`metrics_summary_table` — ASCII
+  tables rendered through :class:`repro.reports.common.Table` (CSV via
+  its ``to_csv``), aggregating spans by (category, name).
+
+``repro.reports.common`` is imported lazily inside the table builders:
+the reports package pulls in the whole analysis pipeline, which is
+itself instrumented with :mod:`repro.obs` — a module-level import here
+would be circular.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from . import metrics as _metrics
+from . import tracer as _tracer
+from .tracer import Span
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "jsonl_events",
+    "write_jsonl",
+    "span_summary_table",
+    "metrics_summary_table",
+]
+
+
+def _clean_args(span: Span) -> Dict[str, object]:
+    args = dict(span.args)
+    if span.error is not None:
+        args["error"] = span.error
+    return args
+
+
+def chrome_trace(span_list: Optional[Sequence[Span]] = None,
+                 registry: Optional[_metrics.MetricsRegistry] = None
+                 ) -> dict:
+    """Build the ``trace_events`` JSON object for the recorded spans."""
+    if span_list is None:
+        span_list = _tracer.TRACER.spans()
+    if registry is None:
+        registry = _metrics.REGISTRY
+    pid = os.getpid()
+
+    events: List[dict] = [{
+        "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+        "args": {"name": "repro analysis pipeline"},
+    }]
+    thread_names = {}
+    for span in span_list:
+        thread_names.setdefault(span.thread_id, span.thread_name)
+    for tid, name in sorted(thread_names.items()):
+        events.append({
+            "ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+            "args": {"name": name},
+        })
+
+    base_ns = min((s.start_ns for s in span_list), default=0)
+    last_us = 0.0
+    for span in span_list:
+        ts = round((span.start_ns - base_ns) / 1000.0, 3)
+        dur = round(span.duration_ns / 1000.0, 3)
+        last_us = max(last_us, ts + dur)
+        events.append({
+            "ph": "X",
+            "name": span.name,
+            "cat": span.category or "default",
+            "ts": ts,
+            "dur": dur,
+            "pid": pid,
+            "tid": span.thread_id,
+            "args": _clean_args(span),
+        })
+
+    for name, metric in registry.items():
+        if isinstance(metric, _metrics.Counter):
+            events.append({
+                "ph": "C", "name": name, "cat": "metric",
+                "ts": round(last_us, 3), "pid": pid, "tid": 0,
+                "args": {"value": metric.value},
+            })
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metrics": registry.snapshot(),
+    }
+
+
+def write_chrome_trace(path: str,
+                       span_list: Optional[Sequence[Span]] = None,
+                       registry: Optional[_metrics.MetricsRegistry] = None
+                       ) -> str:
+    """Write :func:`chrome_trace` output to ``path``; returns the path."""
+    payload = chrome_trace(span_list, registry)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+    return path
+
+
+def jsonl_events(span_list: Optional[Sequence[Span]] = None
+                 ) -> Iterator[str]:
+    """One compact JSON object per span, in completion order."""
+    if span_list is None:
+        span_list = _tracer.TRACER.spans()
+    base_ns = min((s.start_ns for s in span_list), default=0)
+    for span in span_list:
+        yield json.dumps({
+            "name": span.name,
+            "cat": span.category or "default",
+            "ts_ns": span.start_ns - base_ns,
+            "dur_ns": span.duration_ns,
+            "tid": span.thread_id,
+            "depth": span.depth,
+            "parent": span.parent.name if span.parent else None,
+            "args": _clean_args(span),
+        }, sort_keys=True)
+
+
+def write_jsonl(path: str,
+                span_list: Optional[Sequence[Span]] = None) -> str:
+    """Write the JSONL event stream to ``path``; returns the path."""
+    with open(path, "w") as handle:
+        for line in jsonl_events(span_list):
+            handle.write(line + "\n")
+    return path
+
+
+def span_summary_table(span_list: Optional[Sequence[Span]] = None):
+    """Aggregate spans by (category, name) into a rendered Table."""
+    from ..reports.common import Table, si
+
+    if span_list is None:
+        span_list = _tracer.TRACER.spans()
+    agg: Dict[tuple, List[float]] = {}
+    for span in span_list:
+        key = (span.category or "default", span.name)
+        entry = agg.setdefault(key, [0, 0.0, 0.0, 0])
+        entry[0] += 1
+        ms = span.duration_ns / 1e6
+        entry[1] += ms
+        entry[2] = max(entry[2], ms)
+        entry[3] += 1 if span.error else 0
+
+    rows = []
+    for (cat, name), (count, total, peak, errors) in sorted(
+            agg.items(), key=lambda kv: -kv[1][1]):
+        rows.append([
+            cat, name, str(count),
+            f"{total:.3f}", f"{total / count:.3f}", f"{peak:.3f}",
+            str(errors) if errors else "",
+        ])
+    return Table(
+        title="Span summary (repro.obs)",
+        headers=["Category", "Span", "Count", "Total ms", "Mean ms",
+                 "Max ms", "Errors"],
+        rows=rows,
+        notes=[f"{len(span_list)} spans; "
+               "load the --trace JSON in chrome://tracing or Perfetto "
+               "for the full hierarchy"],
+    )
+
+
+def metrics_summary_table(registry: Optional[_metrics.MetricsRegistry]
+                          = None):
+    """Every registered metric as one row of a rendered Table."""
+    from ..reports.common import Table, si
+
+    if registry is None:
+        registry = _metrics.REGISTRY
+    rows = []
+    for name, metric in registry.items():
+        if isinstance(metric, _metrics.Counter):
+            rows.append([name, "counter", si(metric.value), "", ""])
+        elif isinstance(metric, _metrics.Gauge):
+            rows.append([name, "gauge", si(metric.value),
+                         f"updates={metric.updates}", ""])
+        else:
+            if metric.count:
+                detail = (f"mean={si(metric.mean)} "
+                          f"min={si(metric.min)} max={si(metric.max)}")
+                tail = f"p95~{si(metric.quantile(0.95))}"
+            else:
+                detail, tail = "", ""
+            rows.append([name, "histogram", si(metric.count), detail,
+                         tail])
+    return Table(
+        title="Metrics summary (repro.obs)",
+        headers=["Metric", "Type", "Value/Count", "Detail", "Tail"],
+        rows=rows,
+    )

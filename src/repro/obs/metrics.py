@@ -1,0 +1,247 @@
+"""Metrics registry: the counting half of :mod:`repro.obs`.
+
+Three instrument kinds, addressable by dotted name through one
+process-global registry:
+
+* :class:`Counter` — monotonically increasing totals (cache hits, heap
+  pushes, tape instructions);
+* :class:`Gauge` — last-written values (tape length of the most recent
+  compile);
+* :class:`Histogram` — value distributions over fixed log2 buckets
+  (span durations, bisection iteration counts), constant memory per
+  instrument regardless of observation count.
+
+Unlike spans, metrics are *always on*: one attribute add per event is
+cheap enough for every call site in this pipeline (hot inner loops
+accumulate into local ints and flush once — see
+``graph.traversal.memory_greedy_order``).  Instruments are created
+once, at module import, so call sites pay no registry lookup.
+
+Updates are plain attribute writes guarded only by the GIL; counts are
+exact for single-threaded pipelines and at worst slightly under-counted
+under free-threaded racing, which is the standard stats-counter
+trade-off (a lock per increment would dwarf the counted work).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "snapshot",
+    "clear",
+]
+
+#: log2 histogram buckets: bucket i holds values in (2**(i-1), 2**i],
+#: bucket 0 holds everything <= 1.  64 buckets cover the full double
+#: exponent range this pipeline produces (ns durations, byte counts).
+_N_BUCKETS = 64
+
+
+class Counter:
+    """Monotonic event count; ``inc`` is one float add."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """Last-set value (plus set count, so 'never set' is detectable)."""
+
+    __slots__ = ("name", "value", "updates")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.updates += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self.value})"
+
+
+def _bucket_index(value: float) -> int:
+    """Index of the log2 bucket containing ``value``."""
+    if value <= 1.0:
+        return 0
+    return min(_N_BUCKETS - 1, int(math.ceil(math.log2(value))))
+
+
+class Histogram:
+    """Distribution sketch over fixed log2 buckets.
+
+    Tracks count/sum/min/max exactly; quantiles are approximate (each
+    is reported as its bucket's upper edge, i.e. within 2x).
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets: List[int] = [0] * _N_BUCKETS
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.buckets[_bucket_index(value)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile: upper edge of the covering bucket."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, n in enumerate(self.buckets):
+            seen += n
+            if seen >= rank and n:
+                return min(float(2 ** i), self.max)
+        return self.max
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Histogram({self.name}: n={self.count}, "
+                f"mean={self.mean:.3g})")
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Create-or-fetch instruments by dotted name.
+
+    Creation takes a lock (rare — call sites hold module-level
+    references); updates on the returned instruments do not.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get(self, name: str, cls) -> Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(name)
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {cls.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def get(self, name: str) -> Optional[Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def items(self) -> Iterator[Tuple[str, Metric]]:
+        with self._lock:
+            snapshot = sorted(self._metrics.items())
+        return iter(snapshot)
+
+    def clear(self) -> None:
+        """Zero every instrument (references held by call sites stay
+        valid, so this resets rather than unregisters)."""
+        with self._lock:
+            for metric in self._metrics.values():
+                if isinstance(metric, Counter):
+                    metric.value = 0
+                elif isinstance(metric, Gauge):
+                    metric.value = 0.0
+                    metric.updates = 0
+                else:
+                    metric.count = 0
+                    metric.total = 0.0
+                    metric.min = math.inf
+                    metric.max = -math.inf
+                    metric.buckets = [0] * _N_BUCKETS
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Plain-data view of every instrument (for JSON export)."""
+        out: Dict[str, dict] = {}
+        for name, metric in self.items():
+            if isinstance(metric, Counter):
+                out[name] = {"type": "counter", "value": metric.value}
+            elif isinstance(metric, Gauge):
+                out[name] = {"type": "gauge", "value": metric.value,
+                             "updates": metric.updates}
+            else:
+                out[name] = {
+                    "type": "histogram",
+                    "count": metric.count,
+                    "sum": metric.total,
+                    "mean": metric.mean,
+                    "min": metric.min if metric.count else None,
+                    "max": metric.max if metric.count else None,
+                    "p50": metric.quantile(0.5),
+                    "p95": metric.quantile(0.95),
+                }
+        return out
+
+
+#: process-global registry; every pipeline layer counts into this one
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str) -> Counter:
+    return REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return REGISTRY.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return REGISTRY.histogram(name)
+
+
+def snapshot() -> Dict[str, dict]:
+    return REGISTRY.snapshot()
+
+
+def clear() -> None:
+    REGISTRY.clear()

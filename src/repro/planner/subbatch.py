@@ -24,6 +24,7 @@ from typing import Callable, List
 
 import numpy as np
 
+from .. import obs
 from ..analysis.firstorder import FirstOrderModel
 from ..hardware.accelerator import AcceleratorConfig
 from ..symbolic import bisect_increasing
@@ -33,6 +34,13 @@ __all__ = ["SubbatchCurvePoint", "SubbatchChoice", "CompiledCurves",
 
 #: subbatch sizes are chosen on a multiple-of-32 grid (warp-friendly)
 _GRID = 32
+
+_CHOICES = obs.counter("planner.subbatch.choices")
+_CURVES = obs.counter("planner.subbatch.curves_compiled")
+#: bisection probes consumed per choose_subbatch call (three root
+#: findings: ridge crossing, saturation, min-latency)
+_CHOICE_ITERS = obs.histogram("planner.subbatch.bisect_iterations")
+_BISECT_ITERS = obs.counter("symbolic.bisect.iterations")
 
 
 @dataclass
@@ -56,6 +64,7 @@ class CompiledCurves:
 def compile_curves(model: FirstOrderModel, params: float,
                    accel: AcceleratorConfig) -> CompiledCurves:
     """Fold p-invariant terms of the §5.2.1 curves into constants."""
+    _CURVES.inc()
     root_p = math.sqrt(params)
     c1, c2 = model.intensity_coefficients()
     c1_root_p = c1 * root_p
@@ -148,35 +157,42 @@ def choose_subbatch(model: FirstOrderModel, params: float,
     The root-finding loops drive the compiled curves (invariant terms
     folded once) rather than re-deriving ``√p`` per probe.
     """
-    curves = compile_curves(model, params, accel)
+    _CHOICES.inc()
+    iters_before = _BISECT_ITERS.value
+    with obs.span("planner.choose_subbatch", "planner",
+                  params=params) as span:
+        curves = compile_curves(model, params, accel)
 
-    # intensity is increasing in b; find the ridge crossing
-    ridge = bisect_increasing(
-        curves.intensity,
-        accel.effective_ridge_point, 1.0, max_subbatch,
-    )
+        # intensity is increasing in b; find the ridge crossing
+        ridge = bisect_increasing(
+            curves.intensity,
+            accel.effective_ridge_point, 1.0, max_subbatch,
+        )
 
-    asymptote_intensity = curves.intensity(max_subbatch)
-    saturation = bisect_increasing(
-        curves.intensity,
-        0.95 * asymptote_intensity, 1.0, max_subbatch,
-    )
+        asymptote_intensity = curves.intensity(max_subbatch)
+        saturation = bisect_increasing(
+            curves.intensity,
+            0.95 * asymptote_intensity, 1.0, max_subbatch,
+        )
 
-    limit = max(
-        model.gamma * params / accel.achievable_flops,
-        model.mu * np.sqrt(params) / accel.achievable_bandwidth,
-    )
-    # per-sample time decreases monotonically in b; bisect on -time
-    min_latency = bisect_increasing(
-        lambda b: -curves.time_per_sample(b),
-        -(1.0 + tolerance) * limit, 1.0, max_subbatch,
-    )
+        limit = max(
+            model.gamma * params / accel.achievable_flops,
+            model.mu * np.sqrt(params) / accel.achievable_bandwidth,
+        )
+        # per-sample time decreases monotonically in b; bisect on -time
+        min_latency = bisect_increasing(
+            lambda b: -curves.time_per_sample(b),
+            -(1.0 + tolerance) * limit, 1.0, max_subbatch,
+        )
 
-    chosen = max(_GRID, int(math.ceil(min_latency / _GRID)) * _GRID)
-    return SubbatchChoice(
-        ridge_match=ridge,
-        saturation=saturation,
-        min_latency=min_latency,
-        chosen=chosen,
-        asymptotic_time_per_sample=limit,
-    )
+        chosen = max(_GRID, int(math.ceil(min_latency / _GRID)) * _GRID)
+        iterations = _BISECT_ITERS.value - iters_before
+        _CHOICE_ITERS.observe(iterations)
+        span.set(chosen=chosen, bisect_iterations=iterations)
+        return SubbatchChoice(
+            ridge_match=ridge,
+            saturation=saturation,
+            min_latency=min_latency,
+            chosen=chosen,
+            asymptotic_time_per_sample=limit,
+        )

@@ -14,6 +14,7 @@ from typing import Dict, Mapping, Optional
 import numpy as np
 
 from ..graph import Graph, Tensor, topological_order
+from ..obs.tracer import TRACER as _TRACER
 
 __all__ = ["bind_shape", "make_feeds", "execute_graph", "ExecutionResult"]
 
@@ -106,21 +107,27 @@ def execute_graph(
             np.float32
         )
 
-    for op in topological_order(graph):
-        inputs = [values[t.name] for t in op.inputs]
-        out_shapes = [bind_shape(t, bindings) for t in op.outputs]
-        outputs = op.execute(inputs, out_shapes)
-        if len(outputs) != len(op.outputs):
-            raise RuntimeError(
-                f"{op.name} returned {len(outputs)} arrays for "
-                f"{len(op.outputs)} outputs"
-            )
-        for t, array, expected in zip(op.outputs, outputs, out_shapes):
-            if tuple(np.shape(array)) != expected:
+    with _TRACER.span("runtime.execute_graph", "runtime",
+                      graph=graph.name, n_ops=len(graph.ops)):
+        for op in topological_order(graph):
+            inputs = [values[t.name] for t in op.inputs]
+            out_shapes = [bind_shape(t, bindings) for t in op.outputs]
+            # per-op spans (no-op singleton when tracing is disabled)
+            with _TRACER.span(op.name, "op", kind=op.kind,
+                              graph=graph.name):
+                outputs = op.execute(inputs, out_shapes)
+            if len(outputs) != len(op.outputs):
                 raise RuntimeError(
-                    f"{op.name} produced {t.name} with shape "
-                    f"{np.shape(array)}, expected {expected}"
+                    f"{op.name} returned {len(outputs)} arrays for "
+                    f"{len(op.outputs)} outputs"
                 )
-            values[t.name] = array
+            for t, array, expected in zip(op.outputs, outputs,
+                                          out_shapes):
+                if tuple(np.shape(array)) != expected:
+                    raise RuntimeError(
+                        f"{op.name} produced {t.name} with shape "
+                        f"{np.shape(array)}, expected {expected}"
+                    )
+                values[t.name] = array
 
     return ExecutionResult(values)

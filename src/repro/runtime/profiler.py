@@ -7,17 +7,23 @@ dimensions, optionally joined with measured numpy kernel times from an
 actual execution.  Profiles aggregate by op kind so the breakdowns the
 paper discusses (recurrent matmuls vs embedding vs output layer) fall
 out directly.
+
+Timing uses the :mod:`repro.obs` monotonic span clock, and when
+tracing is enabled each executed op also emits an obs span carrying
+its algorithmic FLOPs/bytes — the paper's TFprof join (measured wall
+time and algorithmic counts on the same record) lands directly in the
+Chrome trace.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
 from ..graph import Graph, topological_order
+from ..obs.tracer import TRACER as _TRACER, monotonic_ns
 from .executor import bind_shape, make_feeds
 
 __all__ = ["OpProfile", "StepProfile", "profile_graph", "profile_execution"]
@@ -32,6 +38,10 @@ class OpProfile:
     flops: float
     bytes_accessed: float
     wall_time: float = 0.0
+    #: high-water mark of modeled live bytes while this op ran (its
+    #: outputs allocated, its dead inputs not yet freed); 0 when the
+    #: profile was built without execution
+    peak_live_bytes: float = 0.0
 
 
 @dataclass
@@ -55,6 +65,11 @@ class StepProfile:
             return 0.0
         return self.total_flops / self.total_bytes
 
+    @property
+    def peak_live_bytes(self) -> float:
+        """Step-level peak of the per-op live-byte high-water marks."""
+        return max((op.peak_live_bytes for op in self.ops), default=0.0)
+
     def by_kind(self) -> Dict[str, OpProfile]:
         """Aggregate profile per op kind, sorted by FLOPs descending."""
         agg: Dict[str, OpProfile] = {}
@@ -65,6 +80,8 @@ class StepProfile:
             bucket.flops += op.flops
             bucket.bytes_accessed += op.bytes_accessed
             bucket.wall_time += op.wall_time
+            bucket.peak_live_bytes = max(bucket.peak_live_bytes,
+                                         op.peak_live_bytes)
         return dict(
             sorted(agg.items(), key=lambda kv: -kv[1].flops)
         )
@@ -94,7 +111,12 @@ def profile_execution(graph: Graph,
 
     Mirrors the paper's methodology of profiling real training steps;
     the numpy kernel times are only indicative, but the FLOP/byte
-    columns are exact algorithmic counts.
+    columns are exact algorithmic counts.  Each op also records the
+    peak modeled live bytes while it ran: outputs count from the
+    moment they are produced, non-persistent intermediates die after
+    their last consumer, and weights/inputs are charged for the whole
+    step — the same liveness rule :func:`repro.graph.liveness_peak`
+    replays symbolically.
     """
     rng = np.random.default_rng(seed + 1)
     values: Dict[str, np.ndarray] = {}
@@ -108,20 +130,49 @@ def profile_execution(graph: Graph,
             rng.standard_normal(shape) / np.sqrt(max(fan_in, 1))
         ).astype(np.float32)
 
+    # actual-array liveness tracking (nbytes, not size formulas)
+    remaining = {
+        t.name: len(t.consumers) for t in graph.tensors.values()
+    }
+    live = sum(v.nbytes for v in values.values())
+
     profile = StepProfile(graph.name)
-    for op in topological_order(graph):
-        inputs = [values[t.name] for t in op.inputs]
-        out_shapes = [bind_shape(t, bindings) for t in op.outputs]
-        start = time.perf_counter()
-        outputs = op.execute(inputs, out_shapes)
-        elapsed = time.perf_counter() - start
-        for t, array in zip(op.outputs, outputs):
-            values[t.name] = array
-        profile.ops.append(OpProfile(
-            name=op.name,
-            kind=op.kind,
-            flops=op.flops().evalf(bindings),
-            bytes_accessed=op.bytes_accessed().evalf(bindings),
-            wall_time=elapsed,
-        ))
+    with _TRACER.span("runtime.profile_execution", "runtime",
+                      graph=graph.name, n_ops=len(graph.ops)):
+        for op in topological_order(graph):
+            inputs = [values[t.name] for t in op.inputs]
+            out_shapes = [bind_shape(t, bindings) for t in op.outputs]
+            span = _TRACER.span(op.name, "op", kind=op.kind,
+                                graph=graph.name)
+            with span:
+                start_ns = monotonic_ns()
+                outputs = op.execute(inputs, out_shapes)
+                elapsed = (monotonic_ns() - start_ns) / 1e9
+            for t, array in zip(op.outputs, outputs):
+                values[t.name] = array
+                live += array.nbytes
+            op_peak = float(live)
+            seen = set()
+            for t in op.inputs:
+                if t.is_persistent or t.producer is None or t in seen:
+                    continue
+                seen.add(t)
+                remaining[t.name] -= sum(
+                    1 for c in t.consumers if c is op
+                )
+                if remaining[t.name] == 0:
+                    live -= values[t.name].nbytes
+            flops = op.flops().evalf(bindings)
+            bytes_accessed = op.bytes_accessed().evalf(bindings)
+            # the TFprof join: algorithmic counts on the measured span
+            span.set(flops=flops, bytes=bytes_accessed,
+                     peak_live_bytes=op_peak)
+            profile.ops.append(OpProfile(
+                name=op.name,
+                kind=op.kind,
+                flops=flops,
+                bytes_accessed=bytes_accessed,
+                wall_time=elapsed,
+                peak_live_bytes=op_peak,
+            ))
     return profile

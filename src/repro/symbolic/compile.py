@@ -34,6 +34,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..obs.metrics import counter as _obs_counter
+from ..obs.tracer import TRACER as _TRACER
 from .expr import (
     Add,
     Ceil,
@@ -49,6 +51,14 @@ from .expr import (
 )
 
 __all__ = ["CompiledExpr", "compile_expr", "compile_batch"]
+
+# Compile-time observability: tapes built, instructions emitted, and
+# instructions *avoided* by CSE (a slot lookup that found the subtree
+# already compiled).  Compiles are rare (cached by every consumer), so
+# these count once per tape, not per evaluation.
+_TAPES = _obs_counter("symbolic.compile.tapes")
+_INSTRUCTIONS = _obs_counter("symbolic.compile.instructions")
+_CSE_REUSED = _obs_counter("symbolic.compile.cse_reused")
 
 # Tape opcodes.  Every instruction writes exactly one value; the slot of
 # instruction i is i, so the tape doubles as its own register file.
@@ -91,6 +101,8 @@ class _Compiler:
         self.slots: Dict[Expr, int] = {}
         self.symbols: List[Symbol] = []
         self.sym_index: Dict[str, int] = {}
+        #: subtree compilations avoided because the slot already existed
+        self.reused = 0
 
     def _emit(self, expr: Expr, opcode: int, payload: object) -> int:
         slot = len(self.code)
@@ -139,6 +151,7 @@ class _Compiler:
     def add(self, expr: Expr) -> int:
         """Compile ``expr`` (reusing shared subtrees), return its slot."""
         if expr in self.slots:
+            self.reused += 1
             return self.slots[expr]
         # Iterative postorder: expressions are wide rather than deep,
         # but an explicit stack keeps huge aggregates safe regardless.
@@ -146,6 +159,8 @@ class _Compiler:
         while stack:
             node, expanded = stack.pop()
             if node in self.slots:
+                if not expanded:
+                    self.reused += 1
                 continue
             if expanded:
                 self._instruction(node)
@@ -336,11 +351,21 @@ class CompiledExpr:
                 f"{len(self.out_slots)} outputs)")
 
 
+def _record_compile(span, comp: _Compiler, n_exprs: int) -> None:
+    _TAPES.inc()
+    _INSTRUCTIONS.inc(len(comp.code))
+    _CSE_REUSED.inc(comp.reused)
+    span.set(exprs=n_exprs, instructions=len(comp.code),
+             symbols=len(comp.symbols), cse_reused=comp.reused)
+
+
 def compile_expr(expr: Expr) -> CompiledExpr:
     """Lower one expression to a tape; ``prog(bindings)`` -> float."""
-    comp = _Compiler()
-    out = comp.add(expr)
-    return CompiledExpr(comp.code, comp.symbols, (out,), single=True)
+    with _TRACER.span("symbolic.compile", "compile") as span:
+        comp = _Compiler()
+        out = comp.add(expr)
+        _record_compile(span, comp, 1)
+        return CompiledExpr(comp.code, comp.symbols, (out,), single=True)
 
 
 def compile_batch(exprs: Sequence[Expr]) -> CompiledExpr:
@@ -350,6 +375,8 @@ def compile_batch(exprs: Sequence[Expr]) -> CompiledExpr:
     ``prog(bindings)`` returns a list of floats aligned with ``exprs``,
     ``prog.eval_many(rows)`` an ``(N, len(exprs))`` array.
     """
-    comp = _Compiler()
-    outs = [comp.add(e) for e in exprs]
-    return CompiledExpr(comp.code, comp.symbols, outs, single=False)
+    with _TRACER.span("symbolic.compile", "compile") as span:
+        comp = _Compiler()
+        outs = [comp.add(e) for e in exprs]
+        _record_compile(span, comp, len(exprs))
+        return CompiledExpr(comp.code, comp.symbols, outs, single=False)

@@ -14,10 +14,19 @@ import math
 import sys
 from typing import Callable, Mapping
 
+from ..obs.metrics import counter as _obs_counter
+from ..obs.metrics import histogram as _obs_histogram
 from .compile import compile_expr
 from .expr import Expr, Symbol
 
 __all__ = ["invert_power_law", "power_law", "bisect_increasing", "evalf_fn"]
+
+# Root-finding observability: the planner's subbatch choices each run
+# several bisections; the histogram answers "how many probes does a
+# choice cost" without tracing.
+_BISECT_CALLS = _obs_counter("symbolic.bisect.calls")
+_BISECT_ITERS = _obs_counter("symbolic.bisect.iterations")
+_BISECT_HIST = _obs_histogram("symbolic.bisect.iterations_per_call")
 
 
 def power_law(scale: float, exponent: float, x: float) -> float:
@@ -90,20 +99,27 @@ def bisect_increasing(fn: Callable[[float], float], target: float,
     """
     if lo > hi:
         raise ValueError(f"empty bracket [{lo}, {hi}]")
-    flo, fhi = fn(lo), fn(hi)
-    if flo >= target:
-        return lo
-    if fhi <= target:
-        return hi
-    for _ in range(max_iter):
-        mid = 0.5 * (lo + hi)
-        fmid = fn(mid)
-        if math.isclose(fmid, target, rel_tol=tol, abs_tol=tol):
-            return mid
-        if fmid < target:
-            lo = mid
-        else:
-            hi = mid
-        if hi - lo <= tol * max(1.0, abs(hi)):
-            break
-    return 0.5 * (lo + hi)
+    _BISECT_CALLS.inc()
+    iterations = 0
+    try:
+        flo, fhi = fn(lo), fn(hi)
+        if flo >= target:
+            return lo
+        if fhi <= target:
+            return hi
+        for _ in range(max_iter):
+            iterations += 1
+            mid = 0.5 * (lo + hi)
+            fmid = fn(mid)
+            if math.isclose(fmid, target, rel_tol=tol, abs_tol=tol):
+                return mid
+            if fmid < target:
+                lo = mid
+            else:
+                hi = mid
+            if hi - lo <= tol * max(1.0, abs(hi)):
+                break
+        return 0.5 * (lo + hi)
+    finally:
+        _BISECT_ITERS.inc(iterations)
+        _BISECT_HIST.observe(iterations)

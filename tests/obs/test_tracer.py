@@ -1,0 +1,215 @@
+"""Tracer correctness: nesting, unwinding, threads, disabled mode."""
+
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.tracer import _NULL_SPAN, Tracer
+
+
+@pytest.fixture
+def tracer():
+    """A private tracer so tests never race the global one."""
+    t = Tracer()
+    t.enable()
+    return t
+
+
+class TestNesting:
+    def test_parent_child_links_and_depth(self, tracer):
+        with tracer.span("outer", "t") as outer:
+            with tracer.span("mid", "t") as mid:
+                with tracer.span("inner", "t") as inner:
+                    pass
+        assert outer.depth == 0 and outer.parent is None
+        assert mid.depth == 1 and mid.parent is outer
+        assert inner.depth == 2 and inner.parent is mid
+
+    def test_siblings_share_parent(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent is outer and b.parent is outer
+        assert a.depth == b.depth == 1
+
+    def test_current_span_tracks_stack(self, tracer):
+        assert tracer.current() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+
+    def test_completion_order_and_snapshot(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        names = [s.name for s in tracer.spans()]
+        assert names == ["inner", "outer"]  # children complete first
+
+    def test_durations_monotone_and_nested(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                time.sleep(0.001)
+        assert inner.duration_ns > 0
+        assert outer.duration_ns >= inner.duration_ns
+        assert outer.start_ns <= inner.start_ns
+        assert outer.end_ns >= inner.end_ns
+
+    def test_args_and_set_annotation(self, tracer):
+        with tracer.span("s", "cat", domain="word_lm") as span:
+            span.set(size=512)
+        assert span.args == {"domain": "word_lm", "size": 512}
+        assert span.category == "cat"
+
+
+class TestExceptionUnwinding:
+    def test_span_records_error_and_unwinds(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        [span] = tracer.spans()
+        assert span.error == "ValueError"
+        assert span.end_ns is not None
+        assert tracer.current() is None  # stack fully unwound
+
+    def test_outer_span_survives_inner_exception(self, tracer):
+        with tracer.span("outer") as outer:
+            try:
+                with tracer.span("inner"):
+                    raise RuntimeError("inner fails")
+            except RuntimeError:
+                pass
+            # stack must be back at outer, not corrupted
+            assert tracer.current() is outer
+            with tracer.span("sibling") as sibling:
+                pass
+        assert sibling.parent is outer
+        assert outer.error is None
+
+    def test_decorator_propagates_and_records(self):
+        tracer = obs.TRACER
+        obs.clear()
+        obs.enable()
+        try:
+            @obs.trace("deco.fail", "t")
+            def fails():
+                raise KeyError("k")
+
+            with pytest.raises(KeyError):
+                fails()
+            spans = [s for s in tracer.spans() if s.name == "deco.fail"]
+            assert len(spans) == 1 and spans[0].error == "KeyError"
+        finally:
+            obs.disable()
+            obs.clear()
+
+
+class TestThreadIsolation:
+    def test_stacks_are_per_thread(self, tracer):
+        entered = threading.Event()
+        release = threading.Event()
+        results = {}
+
+        def worker():
+            with tracer.span("worker.outer") as outer:
+                with tracer.span("worker.inner") as inner:
+                    entered.set()
+                    release.wait(5.0)
+                    results["outer"] = outer
+                    results["inner"] = inner
+
+        thread = threading.Thread(target=worker, name="obs-worker")
+        with tracer.span("main.outer") as main_outer:
+            thread.start()
+            assert entered.wait(5.0)
+            # the worker's open spans must not appear on this stack
+            assert tracer.current() is main_outer
+            release.set()
+            thread.join(5.0)
+
+        outer, inner = results["outer"], results["inner"]
+        assert outer.depth == 0 and outer.parent is None
+        assert inner.parent is outer
+        assert outer.thread_id != main_outer.thread_id
+        assert outer.thread_name == "obs-worker"
+
+    def test_concurrent_spans_all_recorded(self, tracer):
+        n_threads, n_spans = 4, 25
+
+        def worker(idx):
+            for i in range(n_spans):
+                with tracer.span(f"t{idx}.s{i}"):
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10.0)
+        assert len(tracer.spans()) == n_threads * n_spans
+
+
+class TestDisabledMode:
+    def test_disabled_span_is_shared_noop(self):
+        tracer = Tracer()
+        assert tracer.span("a") is _NULL_SPAN
+        assert tracer.span("b", "cat", k=1) is _NULL_SPAN
+        with tracer.span("a") as s:
+            assert s is _NULL_SPAN
+            s.set(anything="goes")
+        assert tracer.spans() == []
+
+    def test_disabled_decorator_calls_through(self):
+        tracer = Tracer()
+        calls = []
+
+        def fn(x):
+            calls.append(x)
+            return x * 2
+
+        # module-level decorator checks the global tracer per call
+        obs.disable()
+        wrapped = obs.trace("noop")(fn)
+        assert wrapped(21) == 42
+        assert calls == [21]
+
+    def test_disabled_overhead_is_tiny(self):
+        """50k disabled span entries must cost well under a second
+        (each is one attribute check + a shared singleton)."""
+        tracer = Tracer()
+        start = time.perf_counter()
+        for _ in range(50_000):
+            with tracer.span("hot"):
+                pass
+        elapsed = time.perf_counter() - start
+        assert elapsed < 1.0
+        assert tracer.spans() == []
+
+    def test_global_enable_disable_roundtrip(self):
+        obs.clear()
+        assert not obs.is_enabled()
+        obs.enable()
+        try:
+            assert obs.is_enabled()
+            with obs.span("on"):
+                pass
+            assert [s.name for s in obs.spans()] == ["on"]
+        finally:
+            obs.disable()
+            obs.clear()
+        assert not obs.is_enabled()
+
+
+class TestClock:
+    def test_monotonic_ns_is_monotone(self):
+        a = obs.monotonic_ns()
+        b = obs.monotonic_ns()
+        assert isinstance(a, int)
+        assert b >= a

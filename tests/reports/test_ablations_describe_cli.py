@@ -162,3 +162,34 @@ class TestCLI:
 
         with pytest.raises(SystemExit):
             main(["table9"])
+
+    def test_trace_and_metrics_flags(self, capsys, tmp_path):
+        """--trace writes Chrome-trace-valid JSON; --metrics prints the
+        summary to stderr so --csv stdout stays pipeable."""
+        import json
+
+        from repro import obs
+        from repro.cli import main
+
+        obs.clear()
+        trace_path = tmp_path / "t.json"
+        try:
+            assert main(["table1", "--csv", "--trace", str(trace_path),
+                         "--metrics"]) == 0
+        finally:
+            obs.disable()
+            obs.clear()
+
+        captured = capsys.readouterr()
+        assert "," in captured.out.splitlines()[0]   # CSV untouched
+        assert "Metrics summary" in captured.err
+        assert "analysis.sweep.cache.hit" in captured.err
+
+        with open(trace_path) as handle:
+            payload = json.load(handle)
+        events = payload["traceEvents"]
+        assert any(e["ph"] == "X" and e["name"] == "report.table1"
+                   for e in events)
+        assert any(e["ph"] == "M" for e in events)
+        assert all(e["ts"] >= 0 for e in events if e["ph"] == "X")
+        assert "metrics" in payload

@@ -117,3 +117,72 @@ class TestProfiler:
         assert prof.operational_intensity == pytest.approx(
             prof.total_flops / prof.total_bytes
         )
+
+
+class TestExecutionProfileJoin:
+    """profile_execution must agree with the symbolic StepCounts — the
+    paper's TFprof join: measured wall time and algorithmic counts on
+    the same per-op record."""
+
+    def _word_lm_profile(self):
+        from repro.analysis.counters import StepCounts
+
+        m = build_word_lm(seq_len=4, vocab=60, layers=1)
+        counts = StepCounts(m)
+        bindings = counts.bind(8, 2)
+        return counts, bindings, profile_execution(m.graph, bindings)
+
+    def test_totals_match_stepcounts_evalf(self):
+        counts, bindings, prof = self._word_lm_profile()
+        assert prof.total_flops == pytest.approx(
+            counts.step_flops.evalf(bindings)
+        )
+        assert prof.total_bytes == pytest.approx(
+            counts.step_bytes.evalf(bindings)
+        )
+
+    def test_wall_time_and_peak_live_recorded(self):
+        _, _, prof = self._word_lm_profile()
+        assert all(op.wall_time >= 0 for op in prof.ops)
+        assert all(op.peak_live_bytes > 0 for op in prof.ops)
+        # the step peak is the max over ops, and at least the largest
+        # single op's high-water mark
+        assert prof.peak_live_bytes == max(
+            op.peak_live_bytes for op in prof.ops
+        )
+
+    def test_peak_live_never_below_persistent(self):
+        """Weights/inputs are charged for the whole step, so no op can
+        see less live than the persistent arrays."""
+        m = build_word_lm(seq_len=4, vocab=60, layers=1)
+        bindings = {m.size_symbol: 8, m.batch: 2}
+        prof = profile_execution(m.graph, bindings)
+        feeds = make_feeds(m.graph, bindings, seed=0)
+        persistent = sum(v.nbytes for v in feeds.values())
+        for t in m.graph.parameters():
+            shape = bind_shape(t, bindings)
+            persistent += int(np.prod(shape)) * 4  # float32
+        assert all(op.peak_live_bytes >= persistent for op in prof.ops)
+
+    def test_obs_spans_carry_the_join(self):
+        """With tracing on, each op span holds flops/bytes args that
+        match the OpProfile rows."""
+        from repro import obs
+
+        obs.clear()
+        obs.enable()
+        try:
+            g, _, out = tiny_graph()
+            prof = profile_execution(g, {b: 2, h: 3})
+            op_spans = {s.name: s for s in obs.spans()
+                        if s.category == "op"}
+        finally:
+            obs.disable()
+            obs.clear()
+        assert set(op_spans) == {op.name for op in prof.ops}
+        for op in prof.ops:
+            span = op_spans[op.name]
+            assert span.args["flops"] == pytest.approx(op.flops)
+            assert span.args["bytes"] == pytest.approx(op.bytes_accessed)
+            assert span.args["peak_live_bytes"] == op.peak_live_bytes
+            assert span.duration_ns >= 0
