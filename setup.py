@@ -23,5 +23,10 @@ setup(
     packages=find_packages(where="src"),
     install_requires=["numpy>=1.20"],
     extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
-    entry_points={"console_scripts": ["repro-report=repro.cli:main"]},
+    entry_points={
+        "console_scripts": [
+            "repro-report=repro.cli:main",
+            "repro-lint=repro.check.cli:main",
+        ]
+    },
 )

@@ -1,0 +1,61 @@
+"""Static analysis and lint passes over compute graphs and tapes.
+
+The paper's results rest on per-op algorithmic FLOP/byte formulas and
+the graph wiring they run over; Fathom (Adolf et al.) shows how easily
+reference-workload characterizations drift from the real graphs.  This
+package is the correctness gate that runs *without executing anything*:
+
+* :mod:`repro.check.structure` — structural invariants (the former
+  ``graph/validate.py`` checks), as diagnostics with rule codes;
+* :mod:`repro.check.graph_lint` — dataflow lint: dead ops/tensors,
+  parameters never touched by an optimizer op;
+* :mod:`repro.check.costs` — dimensional analysis of each op's
+  FLOP/byte formulas against its tensor shapes via ``symbolic.poly``;
+* :mod:`repro.check.autodiff` — gradient-graph completeness and
+  symbolic shape agreement;
+* :mod:`repro.check.tape` — static slot-lifetime verification and
+  randomized tape≡tree equivalence for ``CompiledExpr`` programs.
+
+Every pass emits :class:`~repro.check.diagnostics.Diagnostic` records
+with severity-ranked stable rule codes (``G001 dead-op`` …).  The
+``repro-lint`` console script (:mod:`repro.check.cli`) drives all
+passes across every registry model and exits nonzero on error-severity
+findings — the CI gate.
+"""
+
+from .diagnostics import (
+    ERROR,
+    INFO,
+    RULES,
+    WARNING,
+    Diagnostic,
+    Rule,
+    filter_diagnostics,
+)
+from .autodiff import autodiff_diagnostics
+from .costs import cost_diagnostics
+from .dataflow import DataflowIndex
+from .driver import lint_graph, lint_model, lint_registry
+from .graph_lint import dataflow_diagnostics
+from .structure import structural_diagnostics
+from .tape import equivalence_diagnostics, verify_tape
+
+__all__ = [
+    "Diagnostic",
+    "Rule",
+    "RULES",
+    "ERROR",
+    "WARNING",
+    "INFO",
+    "filter_diagnostics",
+    "DataflowIndex",
+    "lint_graph",
+    "lint_model",
+    "lint_registry",
+    "structural_diagnostics",
+    "dataflow_diagnostics",
+    "cost_diagnostics",
+    "autodiff_diagnostics",
+    "verify_tape",
+    "equivalence_diagnostics",
+]

@@ -1,0 +1,85 @@
+"""Autodiff consistency: is the gradient graph complete and well-shaped?
+
+``build_training_step`` records the parameter→gradient map it produced
+in ``BuiltModel.meta["param_grads"]``; this pass re-verifies the map
+*statically* against the graph (so it also catches graphs mutated or
+deserialized after construction).  For bare graphs without the map,
+gradients are recovered from optimizer-op operands.
+
+Rules:
+
+* **A002 missing-gradient** — a loss-reachable trainable parameter has
+  no gradient tensor: backprop silently skips it.
+* **A001 grad-shape-mismatch** — the gradient's symbolic shape differs
+  from its parameter's (the update would be dimensionally ill-formed).
+* **A003 grad-dtype-mismatch** — the gradient is stored at a different
+  element width than the weight (mixed-precision drift).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..graph.graph import Graph
+from ..graph.tensor import Tensor
+from .dataflow import DataflowIndex
+from .diagnostics import Diagnostic
+
+__all__ = ["autodiff_diagnostics"]
+
+
+def _grads_from_optimizers(index: DataflowIndex) -> Dict[str, str]:
+    """Recover the param→grad map from weight-update operands."""
+    out: Dict[str, str] = {}
+    for op in index.optimizer_ops():
+        params = [t for t in op.inputs if t.is_param]
+        others = [t for t in op.inputs if not t.is_param]
+        if len(params) == 1 and len(others) == 1:
+            out[params[0].name] = others[0].name
+    return out
+
+
+def autodiff_diagnostics(graph: Graph, *,
+                         loss: Optional[Tensor] = None,
+                         param_grads: Optional[Dict[str, str]] = None,
+                         index: Optional[DataflowIndex] = None
+                         ) -> List[Diagnostic]:
+    """Run the A-family rules; no-op for graphs without a backward pass."""
+    if index is None:
+        index = DataflowIndex(graph, loss=loss)
+    if param_grads is None:
+        param_grads = _grads_from_optimizers(index)
+    if not param_grads and not index.optimizer_ops():
+        return []  # forward-only graph: autodiff rules not applicable
+
+    out: List[Diagnostic] = []
+    name = graph.name
+    for param in index.loss_reachable_params():
+        grad_name = param_grads.get(param.name)
+        grad = graph.tensors.get(grad_name) if grad_name else None
+        if grad is None:
+            out.append(Diagnostic(
+                "A002",
+                f"parameter {param.name} is reachable from the loss "
+                "but has no gradient tensor",
+                graph=name, obj=param.name,
+            ))
+            continue
+        if tuple(grad.shape) != tuple(param.shape):
+            out.append(Diagnostic(
+                "A001",
+                f"gradient {grad.name} has shape "
+                f"({', '.join(map(str, grad.shape))}) but parameter "
+                f"{param.name} has "
+                f"({', '.join(map(str, param.shape))})",
+                graph=name, obj=param.name,
+            ))
+        if grad.dtype_bytes != param.dtype_bytes:
+            out.append(Diagnostic(
+                "A003",
+                f"gradient {grad.name} is {grad.dtype_bytes} bytes per "
+                f"element but parameter {param.name} is "
+                f"{param.dtype_bytes}",
+                graph=name, obj=param.name,
+            ))
+    return out

@@ -1,0 +1,136 @@
+"""``repro-lint``: static-analysis gate over the model registry.
+
+Runs every analysis pass (structure, dataflow, cost formulas,
+autodiff, compiled tapes) across every model in the registry — or a
+chosen subset — and reports severity-ranked findings::
+
+    repro-lint                        # all domains, text report
+    repro-lint --domain word_lm --domain image
+    repro-lint --json > lint.json     # machine-readable (CI artifact)
+    repro-lint --select C,T           # only cost + tape families
+    repro-lint --ignore G002          # drop one rule
+    repro-lint --list-rules
+
+Exits nonzero when any finding at or above ``--fail-on`` severity
+(default: error) survives filtering — the CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .diagnostics import (
+    ERROR,
+    INFO,
+    RULES,
+    SEVERITY_RANK,
+    WARNING,
+)
+
+__all__ = ["main"]
+
+
+def _split_codes(values: Optional[List[str]]) -> Optional[List[str]]:
+    if not values:
+        return None
+    out = []
+    for v in values:
+        out.extend(p.strip() for p in v.split(",") if p.strip())
+    return out
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Static analyzer for repro compute graphs: "
+                    "dataflow lint, cost-formula dimensional analysis, "
+                    "autodiff consistency, and compiled-tape "
+                    "verification.",
+    )
+    parser.add_argument(
+        "--domain", action="append", metavar="KEY",
+        help="registry domain to lint (repeatable); default: all",
+    )
+    parser.add_argument(
+        "--forward-only", action="store_true",
+        help="lint the forward graphs instead of full training steps",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit a JSON report instead of text",
+    )
+    parser.add_argument(
+        "--select", action="append", metavar="CODES",
+        help="comma-separated rule codes/family prefixes to run "
+             "(e.g. 'C,T001'); default: all rules",
+    )
+    parser.add_argument(
+        "--ignore", action="append", metavar="CODES", default=[],
+        help="comma-separated rule codes/family prefixes to drop",
+    )
+    parser.add_argument(
+        "--fail-on", choices=[ERROR, WARNING, INFO], default=ERROR,
+        help="minimum severity that makes the exit status nonzero "
+             "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule registry and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code in sorted(RULES):
+            rule = RULES[code]
+            print(f"{code} {rule.name:28s} {rule.severity:8s} "
+                  f"{rule.description}")
+        return 0
+
+    # import late so --list-rules works without building anything
+    from .driver import lint_registry
+
+    per_domain = lint_registry(
+        args.domain,
+        training=not args.forward_only,
+        select=_split_codes(args.select),
+        ignore=_split_codes(args.ignore) or (),
+    )
+
+    counts = {ERROR: 0, WARNING: 0, INFO: 0}
+    for diagnostics in per_domain.values():
+        for d in diagnostics:
+            counts[d.severity] += 1
+
+    if args.json:
+        payload = {
+            "version": 1,
+            "training": not args.forward_only,
+            "graphs": {
+                key: [d.to_dict() for d in diagnostics]
+                for key, diagnostics in per_domain.items()
+            },
+            "summary": counts,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for key, diagnostics in per_domain.items():
+            status = "clean" if not diagnostics else \
+                f"{len(diagnostics)} finding(s)"
+            print(f"== {key}: {status}")
+            for d in diagnostics:
+                print(f"  {d.format()}")
+        print(f"-- {counts[ERROR]} error(s), {counts[WARNING]} "
+              f"warning(s), {counts[INFO]} info")
+
+    threshold = SEVERITY_RANK[args.fail_on]
+    failing = sum(
+        n for sev, n in counts.items() if SEVERITY_RANK[sev] <= threshold
+    )
+    return 1 if failing else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,196 @@
+"""Diagnostic records, the rule registry, and select/ignore filtering.
+
+Every lint finding is a :class:`Diagnostic` carrying a *stable rule
+code* (``G001``, ``C003`` …) so findings can be filtered, suppressed
+per graph, and gated in CI without string-matching messages.  Rule
+codes are grouped by pass family:
+
+* ``S***`` — structural invariants (former ``validate_graph`` checks)
+* ``G***`` — graph dataflow lint
+* ``C***`` — cost-formula dimensional analysis
+* ``A***`` — autodiff consistency
+* ``T***`` — compiled-tape verification
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "INFO",
+    "SEVERITY_RANK",
+    "Rule",
+    "RULES",
+    "Diagnostic",
+    "filter_diagnostics",
+    "max_severity",
+]
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+#: rank for sorting (most severe first) and gating
+SEVERITY_RANK = {ERROR: 0, WARNING: 1, INFO: 2}
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: stable code, default severity, description."""
+
+    code: str
+    name: str
+    severity: str
+    description: str
+
+
+_RULE_DEFS = [
+    # -- structural (folded in from graph/validate.py) -------------------
+    Rule("S001", "orphan-tensor", ERROR,
+         "a non-input, non-parameter tensor has no producer op"),
+    Rule("S002", "edge-mismatch", ERROR,
+         "an op's input list disagrees with tensor consumer "
+         "registrations (one finding per broken op/tensor, both "
+         "directions merged)"),
+    Rule("S003", "op-invariant", ERROR,
+         "an op's own validate() shape rule failed"),
+    Rule("S004", "cycle", ERROR,
+         "the op graph is not a DAG"),
+    Rule("S005", "unconsumed-tensor", WARNING,
+         "a produced tensor is never consumed (strict mode only)"),
+    # -- graph dataflow lint --------------------------------------------
+    Rule("G001", "dead-op", WARNING,
+         "op is not needed by the loss or by any weight update"),
+    Rule("G002", "dead-tensor", WARNING,
+         "tensor is produced but read by no op and is not the loss"),
+    Rule("G003", "param-never-updated", ERROR,
+         "a loss-reachable trainable parameter is read by no "
+         "optimizer op although the graph contains weight updates"),
+    # -- cost-formula dimensional analysis ------------------------------
+    Rule("C001", "bytes-write-lower-bound", ERROR,
+         "algorithmic bytes are below the bytes of the outputs the op "
+         "must write"),
+    Rule("C002", "bytes-operand-upper-bound", WARNING,
+         "algorithmic bytes exceed the declared number of passes over "
+         "the op's operands"),
+    Rule("C003", "flops-degree-anomaly", ERROR,
+         "the FLOP formula grows faster in a size symbol than the "
+         "op's tensors (or its declared cost degree) allow"),
+    Rule("C004", "matmul-flops-form", ERROR,
+         "a matmul's FLOPs differ from the degree-3 product term "
+         "2·m·k·n recomputed from its operand shapes"),
+    Rule("C005", "intensity-bounds", WARNING,
+         "operational intensity (FLOPs/byte) is outside sane bounds "
+         "at probe bindings"),
+    # -- autodiff consistency -------------------------------------------
+    Rule("A001", "grad-shape-mismatch", ERROR,
+         "a parameter's gradient tensor has a different symbolic "
+         "shape than the parameter"),
+    Rule("A002", "missing-gradient", ERROR,
+         "a loss-reachable trainable parameter has no gradient tensor "
+         "in the training graph"),
+    Rule("A003", "grad-dtype-mismatch", WARNING,
+         "a gradient tensor's dtype width differs from its "
+         "parameter's"),
+    # -- compiled-tape verification -------------------------------------
+    Rule("T001", "slot-read-after-free", ERROR,
+         "a tape instruction reads a slot outside its live range "
+         "(before its single write, in SSA form)"),
+    Rule("T002", "malformed-instruction", ERROR,
+         "a tape instruction has an unknown opcode or malformed "
+         "payload"),
+    Rule("T003", "dead-instruction", WARNING,
+         "a tape instruction's result is never read and is not an "
+         "output (CSE regression)"),
+    Rule("T004", "tape-tree-divergence", ERROR,
+         "the compiled tape disagrees with the expression tree walk "
+         "at a randomized binding"),
+]
+
+RULES: Dict[str, Rule] = {r.code: r for r in _RULE_DEFS}
+
+
+@dataclass
+class Diagnostic:
+    """One finding: rule code + severity + location + message."""
+
+    code: str
+    message: str
+    graph: str = ""
+    obj: str = ""  #: op/tensor/slot the finding is anchored to
+    severity: str = ""
+    data: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.code not in RULES:
+            raise ValueError(f"unknown lint rule code {self.code!r}")
+        if not self.severity:
+            self.severity = RULES[self.code].severity
+        if self.severity not in SEVERITY_RANK:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def rule(self) -> Rule:
+        return RULES[self.code]
+
+    def format(self) -> str:
+        where = f"{self.graph}: " if self.graph else ""
+        anchor = f" [{self.obj}]" if self.obj else ""
+        return (f"{where}{self.code} {self.rule.name} "
+                f"({self.severity}){anchor}: {self.message}")
+
+    def to_dict(self) -> dict:
+        out = {
+            "code": self.code,
+            "rule": self.rule.name,
+            "severity": self.severity,
+            "graph": self.graph,
+            "obj": self.obj,
+            "message": self.message,
+        }
+        if self.data:
+            out["data"] = self.data
+        return out
+
+
+def _matches(code: str, patterns: Sequence[str]) -> bool:
+    """Prefix matching: 'C' selects the family, 'C003' one rule."""
+    return any(code.startswith(p) for p in patterns if p)
+
+
+def filter_diagnostics(
+    diagnostics: Iterable[Diagnostic],
+    *,
+    select: Optional[Sequence[str]] = None,
+    ignore: Sequence[str] = (),
+    suppress: Sequence[str] = (),
+) -> List[Diagnostic]:
+    """Apply ``--select`` / ``--ignore`` / per-graph suppressions.
+
+    ``select`` (when given) keeps only matching codes; ``ignore`` and
+    ``suppress`` then drop matches.  All use prefix matching, so a
+    family letter selects/ignores the whole pass family.  Results are
+    sorted most-severe first, then by graph, code, and anchor.
+    """
+    out = []
+    for d in diagnostics:
+        if select is not None and not _matches(d.code, select):
+            continue
+        if _matches(d.code, ignore) or _matches(d.code, suppress):
+            continue
+        out.append(d)
+    out.sort(key=lambda d: (SEVERITY_RANK[d.severity], d.graph,
+                            d.code, d.obj))
+    return out
+
+
+def max_severity(diagnostics: Iterable[Diagnostic]) -> Optional[str]:
+    """Most severe level present, or None for an empty run."""
+    best = None
+    for d in diagnostics:
+        if best is None or SEVERITY_RANK[d.severity] < SEVERITY_RANK[best]:
+            best = d.severity
+    return best

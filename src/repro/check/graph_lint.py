@@ -1,0 +1,68 @@
+"""Graph dataflow lint: dead code and unwired training state.
+
+Rules (all computed from the :class:`~repro.check.dataflow.DataflowIndex`
+def-use chains, no execution):
+
+* **G001 dead-op** — an op whose result is needed by neither the loss
+  nor any weight update; it would burn FLOPs every step for nothing.
+* **G002 dead-tensor** — a produced tensor no op reads (and which is
+  not the loss itself).  Common after a refactor leaves a branch
+  half-disconnected.
+* **G003 param-never-updated** — the graph contains optimizer ops, the
+  parameter is reachable from the loss, yet no optimizer op reads it:
+  training would silently freeze that weight.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..graph.graph import Graph
+from ..graph.tensor import Tensor
+from .dataflow import DataflowIndex
+from .diagnostics import Diagnostic
+
+__all__ = ["dataflow_diagnostics"]
+
+
+def dataflow_diagnostics(graph: Graph, *,
+                         loss: Optional[Tensor] = None,
+                         index: Optional[DataflowIndex] = None
+                         ) -> List[Diagnostic]:
+    """Run the G-family rules; return diagnostics (empty = clean)."""
+    if index is None:
+        index = DataflowIndex(graph, loss=loss)
+    out: List[Diagnostic] = []
+    name = graph.name
+
+    live = index.live_ops()
+    for op in graph.ops:
+        if op not in live:
+            out.append(Diagnostic(
+                "G001",
+                f"op {op.name} ({op.kind}) contributes to neither the "
+                "loss nor any weight update",
+                graph=name, obj=op.name,
+            ))
+
+    for t in index.unread_tensors():
+        if loss is not None and t is loss:
+            continue
+        out.append(Diagnostic(
+            "G002",
+            f"tensor {t.name} ({t.kind}) is produced by "
+            f"{index.writer[t].name} but never read",
+            graph=name, obj=t.name,
+        ))
+
+    updated = index.params_updated()
+    if index.optimizer_ops():
+        for param in index.loss_reachable_params():
+            if param not in updated:
+                out.append(Diagnostic(
+                    "G003",
+                    f"parameter {param.name} feeds the loss but no "
+                    "optimizer op updates it",
+                    graph=name, obj=param.name,
+                ))
+    return out

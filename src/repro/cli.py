@@ -38,6 +38,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Regenerate tables/figures from 'Beyond Human-Level "
                     "Accuracy: Computational Challenges in Deep Learning' "
                     "(Hestness et al., PPoPP 2019).",
+        epilog="Use the companion 'repro-lint' command to run the "
+               "static analyzer (repro.check) over the model registry.",
     )
     parser.add_argument(
         "exhibit",

@@ -45,6 +45,22 @@ class Op:
     #: short kind tag used in profiles, e.g. "matmul"; subclasses override.
     kind = "op"
 
+    # -- declared cost metadata (consumed by repro.check.costs) ----------
+    #: False for metadata-only view ops (reshape) whose algorithmic
+    #: bytes are legitimately below the written-output lower bound.
+    cost_writes_outputs = True
+    #: upper-bound multiplier on operand traffic: algorithmic bytes may
+    #: not exceed this many passes over inputs+outputs (SGD re-reads
+    #: the weight, so its update op declares 2).
+    cost_bytes_passes = 1
+    #: declared per-symbol degree cap for the FLOP formula; ``None``
+    #: defaults to the largest per-symbol degree among the op's tensor
+    #: element counts (a FLOP count growing faster than any tensor the
+    #: op touches is a formula regression).
+    cost_degree = None
+    #: True for weight-update ops (used by the params-never-updated lint).
+    is_optimizer = False
+
     def __init__(self, name: str, inputs: Sequence[Tensor],
                  outputs: Sequence[Tensor]):
         self.name = name

@@ -3,6 +3,10 @@
 Run after model construction (and in tests) to catch wiring mistakes
 early: dangling tensors, producer/consumer inconsistencies, cycles, and
 per-op shape-rule violations.
+
+The checks themselves live in :mod:`repro.check.structure` (the
+structural pass of the static analyzer), where each invariant carries a
+stable rule code; this module keeps the raising construction-time API.
 """
 
 from __future__ import annotations
@@ -10,7 +14,6 @@ from __future__ import annotations
 from typing import List
 
 from .graph import Graph
-from .traversal import topological_order
 
 __all__ = ["validate_graph", "GraphValidationError"]
 
@@ -29,46 +32,20 @@ class GraphValidationError(ValueError):
 def validate_graph(graph: Graph, *, allow_unconsumed: bool = True) -> None:
     """Check structural invariants; raise GraphValidationError on failure.
 
-    Invariants:
+    Invariants (see :mod:`repro.check.structure` for the rule codes):
     * every non-input, non-parameter tensor has a producer op;
     * consumer lists match op input lists exactly;
     * the op DAG is acyclic (via a full topological sort);
     * each op passes its own ``validate`` (shape rules);
     * optionally, every activation is consumed (no dead computation).
     """
-    problems: List[str] = []
+    # late import: repro.check depends on repro.graph
+    from ..check.structure import structural_diagnostics
 
-    for t in graph.tensors.values():
-        if t.producer is None and not (t.is_param or t.is_input):
-            problems.append(
-                f"tensor {t.name} ({t.kind}) has no producer and is not "
-                "a parameter or input"
-            )
-        for consumer in t.consumers:
-            if t not in consumer.inputs:
-                problems.append(
-                    f"tensor {t.name} lists consumer {consumer.name} "
-                    "which does not read it"
-                )
-        if not allow_unconsumed and t.producer is not None and not t.consumers:
-            problems.append(f"tensor {t.name} is produced but never consumed")
-
-    for op in graph.ops:
-        for t in op.inputs:
-            if op not in t.consumers:
-                problems.append(
-                    f"op {op.name} reads {t.name} but is not registered "
-                    "as its consumer"
-                )
-        try:
-            op.validate()
-        except Exception as exc:  # collect, don't abort at first problem
-            problems.append(f"op {op.name}: {exc}")
-
-    try:
-        topological_order(graph)
-    except ValueError as exc:
-        problems.append(str(exc))
-
-    if problems:
-        raise GraphValidationError(graph.name, problems)
+    diagnostics = structural_diagnostics(
+        graph, allow_unconsumed=allow_unconsumed
+    )
+    if diagnostics:
+        raise GraphValidationError(
+            graph.name, [d.message for d in diagnostics]
+        )

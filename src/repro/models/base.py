@@ -39,8 +39,13 @@ class BuiltModel:
     def with_training_step(self) -> "BuiltModel":
         """Append backward + SGD update ops (idempotent via meta flag)."""
         if not self.meta.get("training_step_built"):
-            build_training_step(self.graph, self.loss)
+            grads = build_training_step(self.graph, self.loss)
             self.meta["training_step_built"] = True
+            # keep the param→grad map for the autodiff lint pass
+            # (repro.check.autodiff re-verifies it against the graph)
+            self.meta["param_grads"] = {
+                p.name: g.name for p, g in grads.items() if g is not None
+            }
         return self
 
 

@@ -13,7 +13,7 @@ q = 150).
 
 from __future__ import annotations
 
-from ..graph import Graph
+from ..graph import Graph, validate_graph
 from ..ops import add, concat, embedding_lookup, matmul, reduce_mean, reshape
 from ..ops import softmax_cross_entropy, split
 from ..symbolic import Symbol, as_expr
@@ -46,6 +46,7 @@ def build_char_rhn(
     vocab=98,
     seq_len: int = DEFAULT_SEQ_LEN,
     training: bool = True,
+    validate: bool = True,
     dtype_bytes: int = 4,
 ) -> BuiltModel:
     """Construct the char LM; ``hidden=None`` keeps width symbolic."""
@@ -97,4 +98,6 @@ def build_char_rhn(
     )
     if training:
         model.with_training_step()
+    if validate:
+        validate_graph(g)
     return model

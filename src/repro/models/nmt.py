@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import List
 
-from ..graph import Graph, Tensor
+from ..graph import Graph, Tensor, validate_graph
 from ..ops import (
     add,
     batch_matmul,
@@ -58,6 +58,7 @@ def build_nmt(
     vocab=32_000,
     seq_len: int = DEFAULT_SEQ_LEN,
     training: bool = True,
+    validate: bool = True,
     dtype_bytes: int = 4,
 ) -> BuiltModel:
     """Construct the NMT model; ``hidden=None`` keeps width symbolic."""
@@ -158,4 +159,6 @@ def build_nmt(
     )
     if training:
         model.with_training_step()
+    if validate:
+        validate_graph(g)
     return model

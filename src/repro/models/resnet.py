@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from ..graph import Graph, Tensor
+from ..graph import Graph, Tensor, validate_graph
 from ..ops import (
     add,
     batch_norm,
@@ -88,6 +88,7 @@ def build_resnet(
     image_size: int = 224,
     classes: int = 1000,
     training: bool = True,
+    validate: bool = True,
     dtype_bytes: int = 4,
 ) -> BuiltModel:
     """Construct a ResNet; ``width=None`` keeps the multiplier symbolic."""
@@ -149,4 +150,6 @@ def build_resnet(
     )
     if training:
         model.with_training_step()
+    if validate:
+        validate_graph(g)
     return model

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import List
 
-from ..graph import Graph, Tensor
+from ..graph import Graph, Tensor, validate_graph
 from ..ops import (
     add,
     avg_pool1d,
@@ -74,6 +74,7 @@ def build_speech(
     feature_dim: int = 40,
     vocab=30,
     training: bool = True,
+    validate: bool = True,
     dtype_bytes: int = 4,
 ) -> BuiltModel:
     """Construct the speech model; ``hidden=None`` keeps width symbolic."""
@@ -172,4 +173,6 @@ def build_speech(
     )
     if training:
         model.with_training_step()
+    if validate:
+        validate_graph(g)
     return model

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..graph import Graph
+from ..graph import Graph, validate_graph
 from ..ops import concat, embedding_lookup, matmul, reduce_mean, reshape
 from ..ops import softmax_cross_entropy
 from ..symbolic import Symbol, as_expr
@@ -63,6 +63,7 @@ def build_word_lm(
     seq_len: int = DEFAULT_SEQ_LEN,
     projection=None,
     training: bool = True,
+    validate: bool = True,
     dtype_bytes: int = 4,
 ) -> BuiltModel:
     """Construct the word LM; ``hidden=None`` keeps width symbolic.
@@ -136,4 +137,6 @@ def build_word_lm(
     )
     if training:
         model.with_training_step()
+    if validate:
+        validate_graph(g)
     return model

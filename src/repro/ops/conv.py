@@ -74,6 +74,9 @@ class Conv2DOp(Op):
     """out[b,ho,wo,cout] = conv(x[b,h,w,cin], w[kh,kw,cin,cout])."""
 
     kind = "conv2d"
+    # FLOPs 2·kh·kw·cin·cout·ho·wo·b: channel pairs give degree 2 in a
+    # width-multiplier symbol, the declared cap for the cost lint
+    cost_degree = 2
 
     def __init__(self, name: str, x: Tensor, w: Tensor, out: Tensor, *,
                  stride: int = 1, padding: str = "same"):
@@ -137,6 +140,7 @@ class Conv2DInputGradOp(Op):
     """dx — same algorithmic FLOPs as the forward conv."""
 
     kind = "conv2d_input_grad"
+    cost_degree = 2
 
     def __init__(self, name: str, dy: Tensor, w: Tensor, dx: Tensor, *,
                  forward: Conv2DOp):
@@ -178,6 +182,7 @@ class Conv2DFilterGradOp(Op):
     """dw — same algorithmic FLOPs as the forward conv."""
 
     kind = "conv2d_filter_grad"
+    cost_degree = 2
 
     def __init__(self, name: str, x: Tensor, dy: Tensor, dw: Tensor, *,
                  forward: Conv2DOp):

@@ -23,6 +23,9 @@ class EmbeddingLookupOp(Op):
     """out[..., h] = table[ids[...], :] — a gather along the vocab axis."""
 
     kind = "embedding"
+    # gathered rows can re-read the same table row many times, so
+    # traffic may exceed one pass over operands (up to ids + 2·out)
+    cost_bytes_passes = 2
 
     def __init__(self, name: str, table: Tensor, ids: Tensor, out: Tensor):
         super().__init__(name, [table, ids], [out])

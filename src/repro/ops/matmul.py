@@ -29,6 +29,9 @@ class MatMulOp(Op):
     """C[m,n] = A[m,k] @ B[k,n], with optional operand transposes."""
 
     kind = "matmul"
+    # FLOPs are the degree-3 product 2·m·k·n; with the two-operand
+    # shapes of these models no single symbol exceeds degree 2 in it
+    cost_degree = 2
 
     def __init__(self, name: str, a: Tensor, b: Tensor, out: Tensor,
                  *, transpose_a: bool = False, transpose_b: bool = False):
@@ -117,6 +120,7 @@ class BatchMatMulOp(Op):
     """
 
     kind = "batch_matmul"
+    cost_degree = 2
 
     def __init__(self, name: str, a: Tensor, b: Tensor, out: Tensor,
                  *, transpose_a: bool = False, transpose_b: bool = False):

@@ -23,6 +23,10 @@ class SGDUpdateOp(Op):
     """w ← w − lr·g, in place (terminal op, no outputs)."""
 
     kind = "sgd_update"
+    is_optimizer = True
+    # reads the weight twice (once per pass of the update), so the
+    # operand-traffic lint bound is two passes, not one
+    cost_bytes_passes = 2
 
     def __init__(self, name: str, weight: Tensor, grad: Tensor,
                  lr: float = 0.01):

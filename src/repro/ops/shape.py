@@ -122,6 +122,7 @@ class ReshapeOp(Op):
     """View a tensor with a new shape of identical element count."""
 
     kind = "reshape"
+    cost_writes_outputs = False  # metadata-only view: writes no data
 
     def __init__(self, name: str, x: Tensor, out: Tensor):
         super().__init__(name, [x], [out])

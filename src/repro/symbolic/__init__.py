@@ -31,7 +31,8 @@ from .expr import (
     symbols,
 )
 from .compile import CompiledExpr, compile_batch, compile_expr
-from .poly import asymptotic_ratio, coefficient, degree, expand, leading_term
+from .poly import (asymptotic_ratio, coefficient, degree, degrees,
+                   expand, leading_term, nonnegative)
 from .solve import bisect_increasing, evalf_fn, invert_power_law, power_law
 
 __all__ = [
@@ -51,9 +52,11 @@ __all__ = [
     "symbols",
     "expand",
     "degree",
+    "degrees",
     "coefficient",
     "leading_term",
     "asymptotic_ratio",
+    "nonnegative",
     "invert_power_law",
     "power_law",
     "bisect_increasing",

@@ -545,12 +545,18 @@ def _exact_root(value: Fraction, k: int):
         return None
 
     def iroot(n: int) -> int:
-        r = round(n ** (1.0 / k))
-        # fix up float error
-        for candidate in (r - 1, r, r + 1):
-            if candidate >= 0 and candidate**k == n:
-                return candidate
-        return -1
+        # integer Newton iteration for the floor k-th root; a float
+        # seed would overflow for huge numerators (e.g. deep squared
+        # products), so start from a power-of-two upper bound instead
+        if n < 2:
+            return n
+        r = 1 << -(-n.bit_length() // k)
+        while True:
+            step = ((k - 1) * r + n // r ** (k - 1)) // k
+            if step >= r:
+                break
+            r = step
+        return r if r**k == n else -1
 
     num = iroot(value.numerator)
     den = iroot(value.denominator)

@@ -34,9 +34,11 @@ from .expr import (
 __all__ = [
     "expand",
     "degree",
+    "degrees",
     "coefficient",
     "leading_term",
     "asymptotic_ratio",
+    "nonnegative",
 ]
 
 
@@ -133,6 +135,89 @@ def degree(expr: Expr, sym: Symbol) -> Fraction:
             raise ValueError(f"{expr} is not polynomial-like in {sym}")
         best = d if best is None else max(best, d)
     return best if best is not None else Fraction(0)
+
+
+def degrees(expr: Expr) -> "dict[Symbol, Fraction]":
+    """Per-symbol highest degree across all terms, in one expansion.
+
+    Equivalent to ``{s: degree(expr, s) for s in expr.free_symbols()}``
+    but expands once instead of once per symbol — the per-op cost lint
+    (``repro.check.costs``) queries every symbol of every op formula.
+    Raises ``ValueError`` when any term is not posynomial in a symbol
+    it contains.
+    """
+    expr = expand(as_expr(expr))
+    terms = expr.args() if isinstance(expr, Add) else (expr,)
+    out: dict = {}
+    for term in terms:
+        for sym in term.free_symbols():
+            d = _term_degree(term, sym)
+            if d is None:
+                raise ValueError(f"{expr} is not polynomial-like in {sym}")
+            if d > out.get(sym, Fraction(0)):
+                out[sym] = d
+    for sym in expr.free_symbols():
+        out.setdefault(sym, Fraction(0))
+    return out
+
+
+def nonnegative(expr: Expr) -> Optional[bool]:
+    """Decide the sign of ``expr`` over positive symbol bindings.
+
+    All repro symbols denote positive quantities, so an expanded sum
+    whose constant and term coefficients are all ≥ 0 is provably
+    nonnegative (and all ≤ 0 with some < 0 provably takes negative
+    values).  Returns ``True``/``False`` for those cases and ``None``
+    when the sign is indeterminate by coefficient inspection alone
+    (mixed signs, or non-posynomial structure such as ``log``).
+    """
+    expr = expand(as_expr(expr))
+    signs = _term_signs(expr)
+    if signs is None:
+        return None
+    has_neg = any(s < 0 for s in signs)
+    has_pos = any(s > 0 for s in signs)
+    if not has_neg:
+        return True
+    if not has_pos:
+        return False
+    return None
+
+
+def _term_signs(expr: Expr) -> Optional[list]:
+    """Signs of an expanded expression's additive contributions."""
+    if isinstance(expr, Add):
+        signs = [] if expr.const == 0 else [1 if expr.const > 0 else -1]
+        for term, coeff in expr.terms:
+            if _term_signs(term) is None:
+                return None
+            if coeff != 0:
+                signs.append(1 if coeff > 0 else -1)
+        return signs
+    if isinstance(expr, Const):
+        v = expr.value
+        return [] if v == 0 else [1 if v > 0 else -1]
+    if isinstance(expr, Symbol):
+        return [1]
+    if isinstance(expr, Mul):
+        for base, _exponent in expr.factors:
+            if _term_signs(base) is None:
+                return None
+        if expr.coeff == 0:
+            return []
+        return [1 if expr.coeff > 0 else -1]
+    if isinstance(expr, Pow):
+        if _term_signs(expr.base) is None:
+            return None
+        return [1]
+    if isinstance(expr, (Max, Min, Ceil, Floor)):
+        parts = [_term_signs(a) for a in expr.fargs]
+        if any(p is None for p in parts):
+            return None
+        if all(all(s > 0 for s in p) and p for p in parts):
+            return [1]
+        return None
+    return None  # Log and anything else: sign unknown
 
 
 def coefficient(expr: Expr, sym: Symbol, power) -> Expr:

@@ -1,0 +1,104 @@
+"""Fixture tests for autodiff consistency (A-family rules)."""
+
+from repro.check import autodiff_diagnostics
+from repro.graph import Graph, TensorKind, build_training_step
+from repro.ops import SGDUpdateOp, matmul, reduce_mean
+from repro.ops import softmax_cross_entropy
+from repro.symbolic import as_expr, symbols
+
+b, h = symbols("b h")
+
+
+def codes(diagnostics):
+    return sorted(d.code for d in diagnostics)
+
+
+def two_param_graph():
+    """x @ w1 @ w2 → loss, with a grad tensor per parameter."""
+    g = Graph("train")
+    x = g.input("x", (b, h))
+    w1 = g.parameter("w1", (h, h))
+    w2 = g.parameter("w2", (h, h))
+    loss = matmul(g, matmul(g, x, w1, name="mm1"), w2, name="mm2")
+    grads = {
+        w.name: g.tensor(f"grad_{w.name}", (h, h),
+                         kind=TensorKind.GRADIENT)
+        for w in (w1, w2)
+    }
+    return g, loss, grads
+
+
+class TestA002MissingGradient:
+    def test_triggering(self):
+        g, loss, grads = two_param_graph()
+        param_grads = {"w1": grads["w1"].name}  # w2's grad dropped
+        found = autodiff_diagnostics(g, loss=loss,
+                                     param_grads=param_grads)
+        assert codes(found) == ["A002"]
+        assert found[0].obj == "w2"
+
+    def test_clean(self):
+        g, loss, grads = two_param_graph()
+        param_grads = {w: t.name for w, t in grads.items()}
+        assert autodiff_diagnostics(g, loss=loss,
+                                    param_grads=param_grads) == []
+
+
+class TestA001GradShapeMismatch:
+    def test_triggering(self):
+        g, loss, grads = two_param_graph()
+        bad = g.tensor("grad_bad", (h, b), kind=TensorKind.GRADIENT)
+        param_grads = {"w1": grads["w1"].name, "w2": bad.name}
+        found = autodiff_diagnostics(g, loss=loss,
+                                     param_grads=param_grads)
+        assert codes(found) == ["A001"]
+        assert found[0].obj == "w2"
+
+
+class TestA003GradDtypeMismatch:
+    def test_triggering(self):
+        g, loss, grads = two_param_graph()
+        half = g.tensor("grad_half", (h, h), dtype_bytes=2,
+                        kind=TensorKind.GRADIENT)
+        param_grads = {"w1": grads["w1"].name, "w2": half.name}
+        found = autodiff_diagnostics(g, loss=loss,
+                                     param_grads=param_grads)
+        assert codes(found) == ["A003"]
+
+
+class TestScope:
+    def test_forward_only_graph_skipped(self):
+        # no optimizer ops, no recorded gradients: the A rules do not
+        # apply (inference graphs must not be flagged)
+        g = Graph("fwd")
+        x = g.input("x", (b, h))
+        w = g.parameter("w", (h, h))
+        loss = matmul(g, x, w)
+        assert autodiff_diagnostics(g, loss=loss) == []
+
+    def test_grads_recovered_from_optimizer_ops(self):
+        # no explicit map: the pass reads weight-update operands
+        g, loss, grads = two_param_graph()
+        g.add_op(SGDUpdateOp("upd1", g.find("w1"), grads["w1"]))
+        found = autodiff_diagnostics(g, loss=loss)
+        assert codes(found) == ["A002"]  # w2 still has no update/grad
+        assert found[0].obj == "w2"
+
+
+class TestRealTrainingStep:
+    def test_built_gradients_are_consistent(self):
+        g = Graph("real")
+        x = g.input("x", (b, h))
+        labels = g.input("labels", (b,))
+        labels.int_bound = as_expr(10)
+        w = g.parameter("w", (h, 10))
+        logits = matmul(g, x, w, name="logits")
+        loss_vec, _ = softmax_cross_entropy(g, logits, labels,
+                                            name="xent")
+        loss = reduce_mean(g, loss_vec, [0], name="loss")
+        grads = build_training_step(g, loss)
+        param_grads = {
+            p.name: t.name for p, t in grads.items() if t is not None
+        }
+        assert autodiff_diagnostics(g, loss=loss,
+                                    param_grads=param_grads) == []

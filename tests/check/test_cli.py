@@ -1,0 +1,36 @@
+"""Tests for the repro-lint console entry point."""
+
+import json
+
+from repro.check.cli import main
+
+
+class TestListRules:
+    def test_prints_registry_and_exits_zero(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("S002", "G001", "C003", "A002", "T001"):
+            assert code in out
+
+
+class TestRegistryGate:
+    def test_image_domain_is_clean(self, capsys):
+        # the acceptance gate in miniature: a registry model must lint
+        # with zero error-severity findings (CI runs all domains)
+        assert main(["--domain", "image"]) == 0
+        out = capsys.readouterr().out
+        assert "image" in out
+        assert "0 error(s)" in out
+
+    def test_json_report_shape(self, capsys):
+        assert main(["--domain", "image", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert "image" in payload["graphs"]
+        assert payload["summary"]["error"] == 0
+
+    def test_select_filters_rules(self, capsys):
+        # selecting a family that never fires on a clean model still
+        # exits zero and reports a clean run
+        assert main(["--domain", "image", "--select", "T"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out

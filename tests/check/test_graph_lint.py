@@ -1,0 +1,101 @@
+"""Fixture tests for the dataflow lint pass (G-family rules)."""
+
+from repro.check import DataflowIndex, dataflow_diagnostics
+from repro.graph import Graph, TensorKind
+from repro.ops import SGDUpdateOp, matmul, relu
+from repro.symbolic import symbols
+
+b, h = symbols("b h")
+
+
+def codes(diagnostics):
+    return sorted(d.code for d in diagnostics)
+
+
+def forward_chain():
+    """x @ w → relu, linted with the relu output as the loss."""
+    g = Graph("fwd")
+    x = g.input("x", (b, h))
+    w = g.parameter("w", (h, h))
+    loss = relu(g, matmul(g, x, w, name="mm"), name="act")
+    return g, x, w, loss
+
+
+class TestG001DeadOp:
+    def test_triggering(self):
+        g, x, w, loss = forward_chain()
+        matmul(g, x, w, name="dead_mm")  # feeds nothing
+        found = dataflow_diagnostics(g, loss=loss)
+        dead = [d for d in found if d.code == "G001"]
+        assert [d.obj for d in dead] == ["dead_mm"]
+
+    def test_clean(self):
+        g, _, _, loss = forward_chain()
+        assert dataflow_diagnostics(g, loss=loss) == []
+
+
+class TestG002DeadTensor:
+    def test_triggering(self):
+        g, x, w, loss = forward_chain()
+        matmul(g, x, w, name="dead_mm")
+        found = dataflow_diagnostics(g, loss=loss)
+        dead = [d for d in found if d.code == "G002"]
+        assert [d.obj for d in dead] == ["dead_mm:out"]
+
+    def test_loss_itself_is_not_dead(self):
+        g, _, _, loss = forward_chain()
+        found = dataflow_diagnostics(g, loss=loss)
+        assert "G002" not in codes(found)
+
+
+class TestG003ParamNeverUpdated:
+    def _training_graph(self, *, update_both: bool):
+        g = Graph("train")
+        x = g.input("x", (b, h))
+        w1 = g.parameter("w1", (h, h))
+        w2 = g.parameter("w2", (h, h))
+        loss = relu(g, matmul(g, matmul(g, x, w1, name="mm1"), w2,
+                              name="mm2"), name="act")
+        grad1 = g.tensor("grad1", (h, h), kind=TensorKind.GRADIENT)
+        grad2 = g.tensor("grad2", (h, h), kind=TensorKind.GRADIENT)
+        g.add_op(SGDUpdateOp("upd1", w1, grad1))
+        if update_both:
+            g.add_op(SGDUpdateOp("upd2", w2, grad2))
+        return g, loss
+
+    def test_triggering(self):
+        g, loss = self._training_graph(update_both=False)
+        found = dataflow_diagnostics(g, loss=loss)
+        frozen = [d for d in found if d.code == "G003"]
+        assert [d.obj for d in frozen] == ["w2"]
+
+    def test_clean(self):
+        g, loss = self._training_graph(update_both=True)
+        found = dataflow_diagnostics(g, loss=loss)
+        assert "G003" not in codes(found)
+
+    def test_not_applied_to_forward_graphs(self):
+        # no optimizer ops at all: params are legitimately read-only
+        g, _, _, loss = forward_chain()
+        assert "G003" not in codes(dataflow_diagnostics(g, loss=loss))
+
+
+class TestDataflowIndex:
+    def test_live_ops_from_loss_and_updates(self):
+        g, x, w, loss = forward_chain()
+        dead = matmul(g, x, w, name="dead_mm")
+        index = DataflowIndex(g, loss=loss)
+        live = index.live_ops()
+        assert {op.name for op in live} == {"mm", "act"}
+        assert dead.producer not in live
+
+    def test_loss_reachable_params(self):
+        g, _, w, loss = forward_chain()
+        g.parameter("w_unused", (h, h))
+        index = DataflowIndex(g, loss=loss)
+        assert index.loss_reachable_params() == [w]
+
+    def test_forward_graph_without_loss_degrades_gracefully(self):
+        g, _, _, _ = forward_chain()
+        index = DataflowIndex(g)  # no loss, no sinks
+        assert {op.name for op in index.live_ops()} == {"mm", "act"}

@@ -65,6 +65,23 @@ class TestInvalidGraphs:
         with pytest.raises(GraphValidationError, match="does not read"):
             validate_graph(g)
 
+    def test_rewired_edge_reported_once(self):
+        # a single rewired edge breaks the consumer check in both
+        # directions; it must produce ONE merged problem, not two
+        g = Graph()
+        t1 = g.input("t1", (b,))
+        t2 = g.input("t2", (b,))
+        out = g.tensor("out", (b,))
+        op = PassOp("op", [t1], [out])
+        g.add_op(op)
+        op.inputs = (t2,)
+        with pytest.raises(GraphValidationError) as excinfo:
+            validate_graph(g)
+        assert len(excinfo.value.problems) == 1
+        (problem,) = excinfo.value.problems
+        assert "does not read" in problem
+        assert "not registered as its consumer" in problem
+
     def test_error_lists_all_problems(self):
         g = Graph()
         g.tensor("orphan1", (b,))

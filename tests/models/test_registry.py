@@ -37,3 +37,44 @@ class TestRegistry:
         m = get_domain("word_lm").build_model(seq_len=4, vocab=50,
                                               training=False)
         assert m.meta["seq_len"] == 4
+
+
+class TestBuilderValidation:
+    """Every builder runs validate_graph on its result by default."""
+
+    def test_validate_called_by_default(self, monkeypatch):
+        import repro.models.word_lm as mod
+
+        seen = []
+        monkeypatch.setattr(mod, "validate_graph",
+                            lambda g: seen.append(g.name))
+        mod.build_word_lm(hidden=8, layers=1, vocab=16, seq_len=2,
+                          training=False)
+        assert seen == ["word_lm"]
+
+    def test_validate_opt_out(self, monkeypatch):
+        import repro.models.word_lm as mod
+
+        seen = []
+        monkeypatch.setattr(mod, "validate_graph",
+                            lambda g: seen.append(g.name))
+        mod.build_word_lm(hidden=8, layers=1, vocab=16, seq_len=2,
+                          training=False, validate=False)
+        assert seen == []
+
+    def test_all_builders_accept_validate_kwarg(self):
+        import inspect
+
+        for entry in DOMAINS.values():
+            params = inspect.signature(entry.build).parameters
+            assert "validate" in params
+            assert params["validate"].default is True
+
+    def test_training_step_records_param_grads(self):
+        m = get_domain("word_lm").build_model(hidden=8, layers=1,
+                                              vocab=16, seq_len=2)
+        grads = m.meta["param_grads"]
+        assert grads
+        for param_name, grad_name in grads.items():
+            assert m.graph.find(param_name).is_param
+            assert grad_name in m.graph.tensors
