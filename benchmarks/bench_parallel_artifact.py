@@ -1,0 +1,99 @@
+"""Benchmark: serial vs pooled artifact generation + warm-start cache.
+
+Regenerates the full artifact batch (``repro.artifact``, nine
+(domain, size) configurations) three ways — serially, on a 2-worker
+pool, and on a 4-worker pool — asserting the outputs are byte-identical
+before recording wall times.  Then measures the content-addressed
+result store: a cold run populates it, a warm run must serve >= 90% of
+tasks from cache.
+
+Writes ``BENCH_parallel_artifact.json`` at the repo root with the wall
+times, per-mode speedups, the host's CPU count (pool speedup is bounded
+by physical parallelism — on a 1-CPU container the pooled runs are
+*slower* and the honest numbers say so), and the warm-start hit rate,
+which is where the repeated-invocation speedup actually comes from.
+
+Run:  pytest benchmarks/bench_parallel_artifact.py -s
+"""
+
+import os
+from pathlib import Path
+from time import perf_counter
+
+from repro.artifact import DEFAULT_CONFIGS, generate_results
+from repro.exec.store import ResultStore
+from repro.obs import metrics
+
+
+def _read_outputs(out_dir: Path) -> dict:
+    return {path.name: path.read_bytes()
+            for path in sorted(out_dir.iterdir())}
+
+
+def test_parallel_artifact_benchmark(bench_json, tmp_path):
+    configs = DEFAULT_CONFIGS
+    timings = {}
+    outputs = {}
+
+    # untimed warm-up: builds + memoizes every model in-process, so
+    # the serial timing doesn't pay one-time costs that forked pool
+    # workers would then inherit for free (which inflated pool
+    # "speedup" to 2x on a single CPU before this warm-up existed)
+    generate_results(str(tmp_path / "warmup"), configs)
+
+    for label, workers in (("serial", 0), ("workers_2", 2),
+                           ("workers_4", 4)):
+        out_dir = tmp_path / label
+        start = perf_counter()
+        generate_results(str(out_dir), configs, max_workers=workers)
+        timings[label] = perf_counter() - start
+        outputs[label] = _read_outputs(out_dir)
+
+    # parallelism must be a pure perf knob: bytes identical everywhere
+    for label in ("workers_2", "workers_4"):
+        assert outputs[label] == outputs["serial"], (
+            f"{label} artifact outputs differ from serial")
+
+    # warm-start: cold run fills the store, warm run must hit >= 90%
+    store = ResultStore(str(tmp_path / "store"))
+    start = perf_counter()
+    generate_results(str(tmp_path / "cold"), configs, store=store)
+    cold_time = perf_counter() - start
+
+    hits_before = metrics.counter("exec.tasks.cache_hit").value
+    start = perf_counter()
+    generate_results(str(tmp_path / "warm"), configs, store=store)
+    warm_time = perf_counter() - start
+    hit_rate = (metrics.counter("exec.tasks.cache_hit").value
+                - hits_before) / len(configs)
+    assert hit_rate >= 0.9, f"warm-start hit rate {hit_rate:.0%} < 90%"
+
+    payload = {
+        "benchmark": "parallel artifact generation (repro.exec)",
+        "n_configs": len(configs),
+        "cpu_count": os.cpu_count(),
+        "wall_seconds": {k: round(v, 3) for k, v in timings.items()},
+        "pool_speedup": {
+            "workers_2": round(timings["serial"] / timings["workers_2"],
+                               3),
+            "workers_4": round(timings["serial"] / timings["workers_4"],
+                               3),
+        },
+        "warm_start": {
+            "cold_seconds": round(cold_time, 3),
+            "warm_seconds": round(warm_time, 3),
+            "speedup": round(cold_time / max(warm_time, 1e-9), 1),
+            "cache_hit_rate": hit_rate,
+        },
+        "note": "pool speedup is bounded by cpu_count; on a single-CPU "
+                "host the pooled modes pay fork+pickle overhead with "
+                "no parallelism and the honest numbers are < 1x. The "
+                "repeated-run speedup comes from the content-addressed "
+                "result store (warm_start.speedup).",
+    }
+    bench_json("BENCH_parallel_artifact", payload)
+    print(f"\nserial {timings['serial']:.1f}s | "
+          f"2w {timings['workers_2']:.1f}s | "
+          f"4w {timings['workers_4']:.1f}s | "
+          f"cold {cold_time:.1f}s -> warm {warm_time:.2f}s "
+          f"({hit_rate:.0%} cache hits)")

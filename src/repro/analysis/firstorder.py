@@ -35,7 +35,7 @@ from .counters import StepCounts
 __all__ = ["FirstOrderModel", "derive_symbolic", "fit_numeric"]
 
 
-@dataclass
+@dataclass(frozen=True)
 class FirstOrderModel:
     """The γ/λ/µ/δ constants for one domain (Table 2 row).
 
@@ -43,6 +43,10 @@ class FirstOrderModel:
     persistent weight state grows with p while live activations grow
     with b·√p — at frontier scale the δ·p term dominates, which is why
     the paper's Table 2 reports footprint as bytes/parameter.
+
+    Frozen: sweeps share one cached instance among all report
+    generators (see :mod:`repro.analysis.sweep`); derive variants with
+    ``dataclasses.replace`` instead of assigning fields.
     """
 
     domain: str

@@ -13,13 +13,26 @@ footprint path sizes tensors through a CSE'd tape shared by all sweep
 points.  The seed recursive tree-walk survives as
 ``engine="treewalk"``, the baseline that
 ``benchmarks/bench_compile_eval.py`` measures against.
+
+Results are **immutable**: :class:`SweepResult` and :class:`SweepRow`
+are frozen dataclasses with tuple-backed rows, so the memoized cache
+hands every caller the same object with no defensive deep copy (the
+seed copied every row on every hit), and accidental mutation raises
+``FrozenInstanceError`` instead of silently corrupting later readers.
+
+Large sweeps can be **sharded**: ``sweep_domain(..., shards=N)`` splits
+the size series into N chunks evaluated independently (optionally on
+the :mod:`repro.exec` process pool via ``max_workers``) and merges rows
+row-for-row before fitting — merged output is bit-identical to the
+unsharded sweep because every row's arithmetic depends only on its own
+binding.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field, replace
-from typing import List, Optional
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..models.registry import DomainEntry, build_symbolic, get_domain
@@ -27,7 +40,8 @@ from .counters import StepCounts
 from .firstorder import FirstOrderModel, derive_symbolic, fit_numeric
 from .footprint import estimate_footprint
 
-__all__ = ["SweepResult", "SweepRow", "sweep_domain"]
+__all__ = ["SweepResult", "SweepRow", "sweep_domain",
+           "compute_sweep_rows"]
 
 # Sweep-cache effectiveness: a hit means a report reused a memoized
 # domain sweep; evictions mean the LRU bound displaced one.
@@ -35,6 +49,7 @@ _CACHE_HIT = obs.counter("analysis.sweep.cache.hit")
 _CACHE_MISS = obs.counter("analysis.sweep.cache.miss")
 _CACHE_EVICT = obs.counter("analysis.sweep.cache.eviction")
 _POINTS = obs.counter("analysis.sweep.points")
+_SHARDS = obs.counter("analysis.sweep.shards")
 
 #: greedy scheduling is O(V·ready) in treewalk mode; skip it above this
 #: op count and use program order (the difference is small for these
@@ -43,7 +58,7 @@ _POINTS = obs.counter("analysis.sweep.points")
 _GREEDY_OP_LIMIT = 20_000
 
 
-@dataclass
+@dataclass(frozen=True)
 class SweepRow:
     """One model size's measurements (a point on Figs 7–10)."""
 
@@ -57,19 +72,24 @@ class SweepRow:
     bytes_per_sample: float = 0.0  # µ√p component (per sample)
 
 
-@dataclass
+@dataclass(frozen=True)
 class SweepResult:
-    """A full domain sweep plus its fitted first-order model."""
+    """A full domain sweep plus its fitted first-order model.
+
+    Frozen: the memoized cache shares one instance among all callers,
+    so mutation raises ``dataclasses.FrozenInstanceError``.  Use
+    ``dataclasses.replace`` to derive a modified copy.
+    """
 
     domain: str
     subbatch: int
-    rows: List[SweepRow] = field(default_factory=list)
+    rows: Tuple[SweepRow, ...] = ()
     symbolic: Optional[FirstOrderModel] = None
     fitted: Optional[FirstOrderModel] = None
 
 
 #: memoized sweeps, LRU-bounded so long report runs cannot grow memory
-#: without limit; values are masters that callers never see directly
+#: without limit; values are frozen and shared directly with callers
 _SWEEP_CACHE: "OrderedDict[tuple, SweepResult]" = OrderedDict()
 _SWEEP_CACHE_MAX = 32
 
@@ -86,140 +106,200 @@ def _counts_for(key: str) -> StepCounts:
     return counts
 
 
-def _copy_result(result: SweepResult) -> SweepResult:
-    """Defensive copy handed to callers.
-
-    The cache used to return one shared mutable ``SweepResult`` to
-    every caller; a report mutating a row (or ``symbolic.phi``) would
-    silently corrupt every later consumer.  Rows and fitted models are
-    shallow dataclasses of floats, so ``replace`` copies are cheap.
-    """
-    return SweepResult(
-        domain=result.domain,
-        subbatch=result.subbatch,
-        rows=[replace(row) for row in result.rows],
-        symbolic=(replace(result.symbolic)
-                  if result.symbolic is not None else None),
-        fitted=(replace(result.fitted)
-                if result.fitted is not None else None),
-    )
-
-
 def sweep_domain(key: str, *, subbatch: Optional[int] = None,
                  include_footprint: bool = True,
-                 sizes=None, engine: str = "compiled") -> SweepResult:
+                 sizes=None, engine: str = "compiled",
+                 shards: Optional[int] = None,
+                 max_workers: int = 0) -> SweepResult:
     """Run the Figure 7–10 sweep for one domain (memoized).
 
     Sweeps over large unrolled graphs are expensive; reports and
-    benchmarks share one cached result per configuration.  Each call
-    returns a fresh defensive copy, so callers may mutate their result
-    freely; the cache is LRU-bounded at ``_SWEEP_CACHE_MAX`` entries.
+    benchmarks share one cached result per configuration.  The result
+    is frozen (rows are a tuple of frozen dataclasses), so the cache
+    returns the master directly — mutation raises.
 
     ``engine="treewalk"`` selects the recursive-``evalf`` reference
     path; both engines produce identical rows (tested to 1e-9).
+
+    ``shards=N`` evaluates the size series in N independent chunks and
+    merges them (row-for-row identical to the unsharded sweep);
+    ``max_workers>0`` additionally fans the chunks out on the
+    :mod:`repro.exec` process pool.
     """
     cache_key = (key, subbatch, include_footprint,
-                 tuple(sizes) if sizes is not None else None, engine)
+                 tuple(sizes) if sizes is not None else None, engine,
+                 shards)
     cached = _SWEEP_CACHE.get(cache_key)
     if cached is not None:
         _CACHE_HIT.inc()
         _SWEEP_CACHE.move_to_end(cache_key)
-        return _copy_result(cached)
+        return cached
     _CACHE_MISS.inc()
     result = _sweep_domain_uncached(key, subbatch=subbatch,
                                     include_footprint=include_footprint,
-                                    sizes=sizes, engine=engine)
+                                    sizes=sizes, engine=engine,
+                                    shards=shards,
+                                    max_workers=max_workers)
     _SWEEP_CACHE[cache_key] = result
     while len(_SWEEP_CACHE) > _SWEEP_CACHE_MAX:
         _SWEEP_CACHE.popitem(last=False)
         _CACHE_EVICT.inc()
-    return _copy_result(result)
+    return result
+
+
+def compute_sweep_rows(key: str, sizes: Sequence[float],
+                       subbatch: int, *,
+                       include_footprint: bool = True,
+                       engine: str = "compiled") -> List[SweepRow]:
+    """Evaluate the sweep rows for one chunk of sizes (no fitting).
+
+    This is the shard unit: each row depends only on its own binding,
+    so any partition of the size series concatenates to exactly the
+    rows of the full sweep.  Used both by :func:`sweep_domain` and by
+    :func:`repro.exec.tasks.sweep_shard` in pool workers.
+    """
+    if engine not in ("compiled", "treewalk"):
+        raise ValueError(f"unknown sweep engine {engine!r}")
+    counts = _counts_for(key)
+    model = counts.model
+    sizes = list(sizes)
+    use_greedy = len(model.graph) <= _GREEDY_OP_LIMIT
+    _POINTS.inc(len(sizes))
+    rows: List[SweepRow] = []
+
+    def footprint_at(size: float) -> float:
+        if not include_footprint:
+            return 0.0
+        return float(
+            estimate_footprint(model, counts.bind(size, subbatch),
+                               use_greedy=use_greedy,
+                               engine=engine).minimal_bytes
+        )
+
+    if engine == "compiled":
+        with obs.span("sweep.aggregates", "sweep", domain=key):
+            series = counts.sweep_series(sizes, subbatch)
+        for i, size in enumerate(sizes):
+            with obs.span("sweep.point", "sweep", domain=key,
+                          size=size):
+                rows.append(SweepRow(
+                    size=size,
+                    params=float(series["params"][i]),
+                    flops_per_sample=float(
+                        series["flops_per_sample"][i]),
+                    step_bytes=float(series["step_bytes"][i]),
+                    intensity=float(series["intensity"][i]),
+                    footprint_bytes=footprint_at(size),
+                    bytes_fixed=float(series["bytes_fixed"][i]),
+                    bytes_per_sample=float(
+                        series["bytes_per_sample"][i]),
+                ))
+    else:
+        # seed path: one recursive tree walk per aggregate per size
+        for size in sizes:
+            with obs.span("sweep.point", "sweep", domain=key,
+                          size=size):
+                bindings = counts.bind(size, subbatch)
+                rows.append(SweepRow(
+                    size=size,
+                    params=counts.params.evalf(bindings),
+                    flops_per_sample=counts.flops_per_sample.evalf(
+                        bindings),
+                    step_bytes=counts.step_bytes.evalf(bindings),
+                    intensity=_treewalk_intensity(counts, bindings),
+                    footprint_bytes=footprint_at(size),
+                    bytes_fixed=counts.bytes_fixed.evalf(bindings),
+                    bytes_per_sample=counts.bytes_per_sample.evalf(
+                        bindings),
+                ))
+    return rows
+
+
+def _chunk_sizes(sizes: Sequence[float],
+                 shards: int) -> List[List[float]]:
+    """Split a size series into ``shards`` contiguous non-empty chunks."""
+    shards = max(1, min(shards, len(sizes)))
+    base, extra = divmod(len(sizes), shards)
+    chunks, start = [], 0
+    for i in range(shards):
+        end = start + base + (1 if i < extra else 0)
+        chunks.append(list(sizes[start:end]))
+        start = end
+    return chunks
+
+
+def _sharded_rows(key: str, sizes: Sequence[float], subbatch: int, *,
+                  include_footprint: bool, engine: str, shards: int,
+                  max_workers: int) -> List[SweepRow]:
+    """Evaluate the size series in chunks, optionally on the pool."""
+    from ..exec.engine import ExecutionEngine, Task
+    from ..exec.tasks import sweep_shard
+
+    chunks = _chunk_sizes(sizes, shards)
+    _SHARDS.inc(len(chunks))
+    tasks = [
+        Task(
+            id=f"sweep:{key}:shard{i}",
+            fn=sweep_shard,
+            args=(key, tuple(chunk), subbatch, include_footprint,
+                  engine),
+        )
+        for i, chunk in enumerate(chunks)
+    ]
+    results = ExecutionEngine(max_workers=max_workers).run(tasks)
+    rows: List[SweepRow] = []
+    for i in range(len(chunks)):
+        for values in results[f"sweep:{key}:shard{i}"].value:
+            rows.append(SweepRow(*values))
+    return rows
 
 
 def _sweep_domain_uncached(key: str, *, subbatch: Optional[int] = None,
                            include_footprint: bool = True,
-                           sizes=None,
-                           engine: str = "compiled") -> SweepResult:
-    if engine not in ("compiled", "treewalk"):
-        raise ValueError(f"unknown sweep engine {engine!r}")
+                           sizes=None, engine: str = "compiled",
+                           shards: Optional[int] = None,
+                           max_workers: int = 0) -> SweepResult:
     entry: DomainEntry = get_domain(key)
     counts = _counts_for(key)
-    model = counts.model
     subbatch = subbatch if subbatch is not None else entry.subbatch
     sizes = list(sizes) if sizes is not None else list(entry.sweep_sizes)
 
     with obs.span("analysis.sweep", "sweep", domain=key, engine=engine,
-                  subbatch=subbatch, n_sizes=len(sizes)):
-        result = SweepResult(domain=key, subbatch=subbatch)
-        use_greedy = len(model.graph) <= _GREEDY_OP_LIMIT
-        _POINTS.inc(len(sizes))
-
-        footprints = []
-
-        def footprint_at(size: float) -> float:
-            if not include_footprint:
-                return 0.0
-            value = float(
-                estimate_footprint(model, counts.bind(size, subbatch),
-                                   use_greedy=use_greedy,
-                                   engine=engine).minimal_bytes
+                  subbatch=subbatch, n_sizes=len(sizes),
+                  shards=shards or 1):
+        if shards is not None and shards > 1:
+            rows = _sharded_rows(
+                key, sizes, subbatch,
+                include_footprint=include_footprint, engine=engine,
+                shards=shards, max_workers=max_workers,
             )
-            footprints.append(value)
-            return value
-
-        if engine == "compiled":
-            with obs.span("sweep.aggregates", "sweep", domain=key):
-                series = counts.sweep_series(sizes, subbatch)
-            for i, size in enumerate(sizes):
-                with obs.span("sweep.point", "sweep", domain=key,
-                              size=size):
-                    result.rows.append(SweepRow(
-                        size=size,
-                        params=float(series["params"][i]),
-                        flops_per_sample=float(
-                            series["flops_per_sample"][i]),
-                        step_bytes=float(series["step_bytes"][i]),
-                        intensity=float(series["intensity"][i]),
-                        footprint_bytes=footprint_at(size),
-                        bytes_fixed=float(series["bytes_fixed"][i]),
-                        bytes_per_sample=float(
-                            series["bytes_per_sample"][i]),
-                    ))
         else:
-            # seed path: one recursive tree walk per aggregate per size
-            for size in sizes:
-                with obs.span("sweep.point", "sweep", domain=key,
-                              size=size):
-                    bindings = counts.bind(size, subbatch)
-                    result.rows.append(SweepRow(
-                        size=size,
-                        params=counts.params.evalf(bindings),
-                        flops_per_sample=counts.flops_per_sample.evalf(
-                            bindings),
-                        step_bytes=counts.step_bytes.evalf(bindings),
-                        intensity=_treewalk_intensity(counts, bindings),
-                        footprint_bytes=footprint_at(size),
-                        bytes_fixed=counts.bytes_fixed.evalf(bindings),
-                        bytes_per_sample=counts.bytes_per_sample.evalf(
-                            bindings),
-                    ))
+            rows = compute_sweep_rows(
+                key, sizes, subbatch,
+                include_footprint=include_footprint, engine=engine,
+            )
 
+        footprints = ([r.footprint_bytes for r in rows]
+                      if include_footprint else None)
         with obs.span("sweep.fit", "sweep", domain=key):
-            result.fitted = fit_numeric(
+            fitted = fit_numeric(
                 key,
-                [r.params for r in result.rows],
-                [r.flops_per_sample for r in result.rows],
-                [r.bytes_fixed for r in result.rows],
-                [r.bytes_per_sample for r in result.rows],
-                footprints or None,
+                [r.params for r in rows],
+                [r.flops_per_sample for r in rows],
+                [r.bytes_fixed for r in rows],
+                [r.bytes_per_sample for r in rows],
+                footprints,
                 footprint_subbatch=subbatch,
             )
             # footprint has no closed symbolic form: reuse the numeric
-            # fit
-            result.symbolic = derive_symbolic(counts,
-                                              delta=result.fitted.delta)
-            result.symbolic.phi = result.fitted.phi
-        return result
+            # fit's δ and φ
+            symbolic = replace(
+                derive_symbolic(counts, delta=fitted.delta),
+                phi=fitted.phi,
+            )
+        return SweepResult(domain=key, subbatch=subbatch,
+                           rows=tuple(rows), symbolic=symbolic,
+                           fitted=fitted)
 
 
 def _treewalk_intensity(counts: StepCounts, bindings) -> float:

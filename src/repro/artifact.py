@@ -10,6 +10,14 @@ the equivalent driver over our reconstructed models::
 writes one analysis file per (domain, size) configuration and a
 ``summary.txt`` with the gathered table, mirroring the artifact's
 validation workflow.
+
+The configurations are independent, so the batch fans out on the
+:mod:`repro.exec` engine (``--max-workers N``); workers return rendered
+payloads and the parent writes all files, so parallel output is
+byte-identical to the serial run.  Payloads are memoized in a
+content-addressed result store keyed on each model's structural graph
+hash, so repeated invocations are warm-start (``--no-cache`` /
+``--cache-dir`` control this).
 """
 
 from __future__ import annotations
@@ -19,10 +27,14 @@ import os
 from typing import List, Optional, Sequence, Tuple
 
 from . import obs
-from .analysis.counters import StepCounts
-from .models.registry import DOMAINS, build_symbolic
-from .reports.common import Table, si
-from .reports.describe import describe_model
+from .exec.engine import ExecutionEngine, Task
+from .exec.store import ResultStore, default_cache_dir
+from .exec.tasks import (
+    artifact_config,
+    artifact_config_key,
+    artifact_payload_ok,
+)
+from .reports.common import Table
 
 __all__ = ["generate_results", "main"]
 
@@ -38,41 +50,52 @@ DEFAULT_CONFIGS: Tuple[Tuple[str, float], ...] = (
 
 
 def generate_results(out_dir: str,
-                     configs: Sequence[Tuple[str, float]] = DEFAULT_CONFIGS
+                     configs: Sequence[Tuple[str, float]] = DEFAULT_CONFIGS,
+                     *,
+                     max_workers: int = 0,
+                     store: Optional[ResultStore] = None,
+                     engine: Optional[ExecutionEngine] = None
                      ) -> List[str]:
     """Write one analysis file per configuration + a summary table.
+
+    ``max_workers=0`` (default) analyzes serially in-process;
+    ``max_workers=N`` fans the configurations out as a task DAG on a
+    process pool.  Either way the parent writes every file in
+    ``configs`` order, so output bytes are identical.  With a
+    ``store``, per-config payloads are cached across invocations.
 
     Returns the list of files written.
     """
     os.makedirs(out_dir, exist_ok=True)
+
+    tasks = [
+        Task(
+            id=f"artifact:{key}:{size:g}",
+            fn=artifact_config,
+            args=(key, size),
+            key=(artifact_config_key(key, size)
+                 if store is not None else None),
+            validate=artifact_payload_ok,
+        )
+        for key, size in configs
+    ]
+    if engine is None:
+        engine = ExecutionEngine(max_workers=max_workers, store=store)
+    elif store is not None and engine.store is None:
+        engine.store = store
+    results = engine.run(tasks)
+
     written: List[str] = []
     summary_rows = []
-
-    for key, size in configs:
-        # one span per generated artifact file, like the CLI's one
-        # span per table/figure
+    for (key, size), task in zip(configs, tasks):
+        payload = results[task.id].value
         with obs.span("artifact.output", "artifact", domain=key,
                       size=size):
-            model = build_symbolic(key)
-            subbatch = DOMAINS[key].subbatch
-            report = describe_model(model, size=size, subbatch=subbatch)
             path = os.path.join(out_dir, f"output_{key}_{size:g}.txt")
             with open(path, "w") as handle:
-                handle.write(report + "\n")
+                handle.write(payload["report"] + "\n")
             written.append(path)
-
-            counts = StepCounts(model)
-            bindings = counts.bind(size, subbatch)
-            ct = counts.step_flops.evalf(bindings)
-            at = counts.step_bytes.evalf(bindings)
-            summary_rows.append([
-                DOMAINS[key].display,
-                f"{size:g}",
-                si(counts.params.evalf(bindings)),
-                si(ct) + "FLOP",
-                si(at) + "B",
-                f"{ct / at:.1f}",
-            ])
+            summary_rows.append(payload["summary_row"])
 
     with obs.span("artifact.summary", "artifact",
                   n_configs=len(configs)):
@@ -89,6 +112,32 @@ def generate_results(out_dir: str,
     return written
 
 
+def add_exec_arguments(parser: argparse.ArgumentParser) -> None:
+    """Engine/store flags shared by this CLI and ``repro-report``."""
+    parser.add_argument(
+        "--max-workers", type=int, default=0, metavar="N",
+        help="fan the batch out on an N-process pool (0 = serial "
+             "in-process, the default); output is byte-identical "
+             "either way",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result store (always recompute)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="result-store directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro)",
+    )
+
+
+def store_from_args(args: argparse.Namespace) -> Optional[ResultStore]:
+    """Build the result store a parsed CLI run asked for (or None)."""
+    if args.no_cache:
+        return None
+    return ResultStore(args.cache_dir or default_cache_dir())
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.artifact",
@@ -97,6 +146,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--out", default="ppopp_2019_outputs",
                         help="output directory")
+    add_exec_arguments(parser)
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="write a Chrome trace_events JSON of the "
                              "batch run (chrome://tracing / Perfetto)")
@@ -106,7 +156,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.trace or args.metrics:
         obs.enable()
-    files = generate_results(args.out)
+    files = generate_results(args.out, max_workers=args.max_workers,
+                             store=store_from_args(args))
     for path in files:
         print(f"wrote {path}")
     if args.trace:

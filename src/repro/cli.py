@@ -17,6 +17,13 @@ rates, tape statistics) after the reports::
     repro-report table1 --trace /tmp/t.json --metrics
     repro-report fig10 --trace fig10.json --trace-jsonl fig10.jsonl
 
+Exhibits are independent computations, so ``repro-report all
+--max-workers 4`` regenerates them as a task DAG on the
+:mod:`repro.exec` process pool, and rendered results are memoized in a
+content-addressed on-disk store (keyed on the registry's structural
+graph hashes) so a repeated invocation is warm-start; ``--no-cache`` /
+``--cache-dir`` control the store.
+
 Diagnostics go to stderr so ``--csv`` output stays pipeable.
 """
 
@@ -27,6 +34,9 @@ import sys
 from typing import List, Optional
 
 from . import obs
+from .artifact import add_exec_arguments, store_from_args
+from .exec.engine import ExecutionEngine, Task
+from .exec.tasks import report_exhibit, report_exhibit_key
 from .reports import ALL_REPORTS
 
 __all__ = ["main"]
@@ -65,6 +75,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--subbatch", type=int, default=None,
         help="(describe) subbatch size; defaults to the Table 3 choice",
     )
+    add_exec_arguments(parser)
     parser.add_argument(
         "--trace", metavar="PATH", default=None,
         help="enable repro.obs tracing and write a Chrome "
@@ -95,17 +106,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         names = (sorted(ALL_REPORTS) if args.exhibit == "all"
                  else [args.exhibit])
-        for name in names:
-            # one span per table/figure: generation and rendering are
-            # child phases so the trace shows where the time went
-            with obs.span(f"report.{name}", "report"):
-                with obs.span("report.generate", "report",
-                              exhibit=name):
-                    report = ALL_REPORTS[name]()
-                with obs.span("report.render", "report", exhibit=name,
-                              csv=args.csv):
-                    out = report.to_csv() if args.csv \
-                        else report.render()
+        store = store_from_args(args)
+        tasks = [
+            Task(
+                id=f"report:{name}",
+                fn=report_exhibit,
+                args=(name,),
+                key=(report_exhibit_key(name)
+                     if store is not None else None),
+            )
+            for name in names
+        ]
+        engine = ExecutionEngine(max_workers=args.max_workers,
+                                 store=store)
+        with obs.span("report.generate_all", "report",
+                      n_exhibits=len(names),
+                      max_workers=args.max_workers):
+            results = engine.run(tasks)
+        for name, task in zip(names, tasks):
+            # one span per table/figure: rendering happens in the
+            # parent so the trace shows where the time went
+            report = results[task.id].value
+            with obs.span("report.render", "report", exhibit=name,
+                          csv=args.csv):
+                out = report.to_csv() if args.csv else report.render()
             print(out)
             print()
 

@@ -1,0 +1,46 @@
+"""repro.exec — parallel artifact execution engine + result store.
+
+The paper's deliverables are embarrassingly parallel: every table,
+figure, and artifact output file is an independent
+(model × domain-point × planner-choice) evaluation.  This package adds
+the ROADMAP's "sharding, batching, async, caching" layer to that hot
+path:
+
+* **engine** (:mod:`.engine`) — a process-pool execution engine that
+  runs a task DAG (one task per artifact unit, plus chunked
+  binding-matrix shards for large sweeps) with per-task timeouts,
+  bounded retry with exponential backoff, and graceful degradation to
+  serial in-process execution when a worker dies, hangs, or
+  ``max_workers=0``::
+
+      engine = ExecutionEngine(max_workers=4)
+      results = engine.run([Task("t1", fn, args=(...,))])
+
+* **store** (:mod:`.store`) — a content-addressed on-disk result store.
+  Keys hash the graph's structural fingerprint
+  (:func:`repro.graph.serialize.structural_hash`), the bindings, the
+  op-cost metadata, and the package version, so a second
+  ``repro-report``/``python -m repro.artifact`` invocation is
+  warm-start and any change that could alter a number misses cleanly.
+
+* **tasks** (:mod:`.tasks`) — the picklable module-level task functions
+  the artifact pipeline fans out (config reports, report exhibits,
+  sweep shards).
+
+Cache hits/misses/evictions and engine retries/timeouts/fallbacks are
+counted in :mod:`repro.obs` metrics and visible via ``--metrics``.
+"""
+
+from .engine import (
+    ExecError,
+    ExecutionEngine,
+    Task,
+    TaskResult,
+    run_tasks,
+)
+from .store import ResultStore, content_key, default_cache_dir
+
+__all__ = [
+    "ExecutionEngine", "Task", "TaskResult", "ExecError", "run_tasks",
+    "ResultStore", "content_key", "default_cache_dir",
+]

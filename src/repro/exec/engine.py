@@ -1,0 +1,523 @@
+"""Process-pool task-DAG execution engine with serial fallback.
+
+The artifact pipeline fans out as a DAG of picklable tasks (one per
+(model, table/figure) unit, plus chunked sweep shards).  This engine
+runs that DAG on a ``multiprocessing`` pool with the failure semantics
+a batch artifact needs:
+
+* **per-task timeouts** — a worker that hangs past its deadline is
+  killed (the pool is terminated and rebuilt; unaffected in-flight
+  tasks are resubmitted without penalty);
+* **bounded retry with exponential backoff** — a task that raises,
+  times out, or returns a payload its validator rejects is retried up
+  to ``retries`` times in the pool;
+* **graceful degradation to serial** — after pool retries are
+  exhausted the task runs once in-process (the mode the seed shipped),
+  so a flaky pool can slow the artifact down but not fail it.  With
+  ``max_workers=0`` the engine *is* the serial path: same code, no
+  processes.  Too many pool restarts degrade the whole run to serial.
+
+Results can be warm-started through a
+:class:`~repro.exec.store.ResultStore`: tasks carrying a ``key`` are
+looked up before dispatch and stored after success.  Every decision is
+counted in :mod:`repro.obs` metrics (``exec.tasks.*``, ``exec.pool.*``)
+and the run is wrapped in spans so ``--trace`` shows the schedule.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .. import obs
+from .store import ResultStore
+
+__all__ = ["Task", "TaskResult", "ExecError", "ExecutionEngine",
+           "run_tasks"]
+
+_SUBMITTED = obs.counter("exec.tasks.submitted")
+_COMPLETED = obs.counter("exec.tasks.completed")
+_CACHE_HITS = obs.counter("exec.tasks.cache_hit")
+_RETRIES = obs.counter("exec.tasks.retried")
+_TIMEOUTS = obs.counter("exec.tasks.timeout")
+_WORKER_ERRORS = obs.counter("exec.tasks.worker_error")
+_INVALID = obs.counter("exec.tasks.invalid_payload")
+_FALLBACKS = obs.counter("exec.tasks.serial_fallback")
+_FAILURES = obs.counter("exec.tasks.failed")
+_POOL_RESTARTS = obs.counter("exec.pool.restarts")
+_DEGRADED = obs.counter("exec.engine.degraded")
+
+#: polling granularity of the result-collection loop, seconds.  Tasks
+#: are second-scale analyses, so 10 ms adds no measurable latency.
+_POLL_INTERVAL = 0.01
+
+
+@dataclass
+class Task:
+    """One unit of the artifact DAG.
+
+    ``fn`` must be picklable (a module-level function) when the engine
+    runs with workers; ``validate`` runs in the *parent* on the
+    returned payload, so it may be any callable.  ``key`` opts the task
+    into the result store.
+    """
+
+    id: str
+    fn: Callable[..., Any]
+    args: Tuple = ()
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    deps: Tuple[str, ...] = ()
+    timeout: Optional[float] = None    # None -> engine default
+    retries: Optional[int] = None      # None -> engine default
+    key: Optional[str] = None          # result-store key (opt-in)
+    validate: Optional[Callable[[Any], bool]] = None
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one task: value, provenance, and cost."""
+
+    id: str
+    value: Any = None
+    error: Optional[BaseException] = None
+    #: 'cache' | 'pool' | 'serial'
+    source: str = "serial"
+    attempts: int = 0
+    duration: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class ExecError(RuntimeError):
+    """Raised when tasks fail permanently (after retry + fallback).
+
+    Carries the full result map so callers can salvage completed work.
+    """
+
+    def __init__(self, failed: Sequence[TaskResult],
+                 results: Dict[str, TaskResult]):
+        self.failed = list(failed)
+        self.results = results
+        detail = "; ".join(
+            f"{r.id}: {type(r.error).__name__}: {r.error}"
+            for r in self.failed
+        )
+        super().__init__(
+            f"{len(self.failed)} task(s) failed permanently: {detail}"
+        )
+
+
+class _Pending:
+    """Book-keeping for one not-yet-finished task."""
+
+    __slots__ = ("task", "attempts", "not_before", "async_result",
+                 "deadline", "started")
+
+    def __init__(self, task: Task):
+        self.task = task
+        self.attempts = 0
+        self.not_before = 0.0       # backoff gate for resubmission
+        self.async_result = None
+        self.deadline = float("inf")
+        self.started = 0.0
+
+
+def _toposort(tasks: Sequence[Task]) -> List[Task]:
+    """Validate ids/deps and return a dependency-respecting order."""
+    by_id: Dict[str, Task] = {}
+    for task in tasks:
+        if task.id in by_id:
+            raise ValueError(f"duplicate task id {task.id!r}")
+        by_id[task.id] = task
+    for task in tasks:
+        for dep in task.deps:
+            if dep not in by_id:
+                raise ValueError(
+                    f"task {task.id!r} depends on unknown task {dep!r}"
+                )
+    order: List[Task] = []
+    state: Dict[str, int] = {}  # 0 visiting / 1 done
+
+    def visit(task: Task, chain: Tuple[str, ...]) -> None:
+        mark = state.get(task.id)
+        if mark == 1:
+            return
+        if mark == 0:
+            cycle = " -> ".join(chain + (task.id,))
+            raise ValueError(f"task dependency cycle: {cycle}")
+        state[task.id] = 0
+        for dep in task.deps:
+            visit(by_id[dep], chain + (task.id,))
+        state[task.id] = 1
+        order.append(task)
+
+    for task in tasks:
+        visit(task, ())
+    return order
+
+
+class ExecutionEngine:
+    """Runs task DAGs; see the module docstring for semantics."""
+
+    def __init__(self, max_workers: int = 0, *,
+                 timeout: Optional[float] = 300.0,
+                 retries: int = 2,
+                 backoff: float = 0.05,
+                 store: Optional[ResultStore] = None,
+                 max_pool_restarts: int = 3,
+                 mp_context: Optional[str] = None):
+        if max_workers < 0:
+            raise ValueError("max_workers must be >= 0")
+        self.max_workers = max_workers
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.store = store
+        self.max_pool_restarts = max_pool_restarts
+        self._mp_context = mp_context
+        self._pool = None
+        self._pool_restarts = 0
+
+    # -- public API ----------------------------------------------------
+    def run(self, tasks: Sequence[Task]) -> Dict[str, TaskResult]:
+        """Execute the DAG; returns ``{task id: TaskResult}``.
+
+        Raises :class:`ExecError` if any task still fails after retry
+        and serial fallback (partial results ride on the exception).
+        """
+        order = _toposort(tasks)
+        results: Dict[str, TaskResult] = {}
+        with obs.span("exec.run", "exec", tasks=len(order),
+                      max_workers=self.max_workers):
+            try:
+                if self.max_workers == 0:
+                    self._run_serial(order, results)
+                else:
+                    self._run_pool(order, results)
+            finally:
+                self._shutdown_pool()
+        failed = [r for r in results.values() if not r.ok]
+        if failed:
+            raise ExecError(failed, results)
+        return results
+
+    # -- shared helpers ------------------------------------------------
+    def _effective_retries(self, task: Task) -> int:
+        return self.retries if task.retries is None else task.retries
+
+    def _effective_timeout(self, task: Task) -> Optional[float]:
+        return self.timeout if task.timeout is None else task.timeout
+
+    def _check_cache(self, task: Task) -> Optional[TaskResult]:
+        if self.store is None or task.key is None:
+            return None
+        sentinel = object()
+        value = self.store.get(task.key, sentinel)
+        if value is sentinel:
+            return None
+        _CACHE_HITS.inc()
+        return TaskResult(id=task.id, value=value, source="cache")
+
+    def _store_result(self, task: Task, value: Any) -> None:
+        if self.store is not None and task.key is not None:
+            self.store.put(task.key, value)
+
+    def _validated(self, task: Task, value: Any) -> Any:
+        """Returns the value or raises on a corrupt payload."""
+        if task.validate is not None and not task.validate(value):
+            _INVALID.inc()
+            raise ValueError(
+                f"task {task.id!r} returned a payload its validator "
+                "rejected"
+            )
+        return value
+
+    def _run_one_serial(self, task: Task) -> TaskResult:
+        """Execute one task in-process with bounded retries."""
+        retries = self._effective_retries(task)
+        attempts = 0
+        start = time.perf_counter()
+        with obs.span("exec.task", "exec", task=task.id, mode="serial"):
+            while True:
+                attempts += 1
+                try:
+                    value = self._validated(
+                        task, task.fn(*task.args, **task.kwargs)
+                    )
+                    _COMPLETED.inc()
+                    return TaskResult(
+                        id=task.id, value=value, source="serial",
+                        attempts=attempts,
+                        duration=time.perf_counter() - start,
+                    )
+                except Exception as error:
+                    if attempts > retries:
+                        _FAILURES.inc()
+                        return TaskResult(
+                            id=task.id, error=error, source="serial",
+                            attempts=attempts,
+                            duration=time.perf_counter() - start,
+                        )
+                    _RETRIES.inc()
+                    time.sleep(self.backoff * (2 ** (attempts - 1)))
+
+    def _deps_ok(self, task: Task,
+                 results: Dict[str, TaskResult]) -> bool:
+        """False (and a recorded failure) if a dependency failed."""
+        bad = [d for d in task.deps
+               if d in results and not results[d].ok]
+        if bad:
+            _FAILURES.inc()
+            results[task.id] = TaskResult(
+                id=task.id,
+                error=RuntimeError(
+                    f"dependency failed: {', '.join(bad)}"
+                ),
+            )
+            return False
+        return True
+
+    def _run_serial(self, order: Sequence[Task],
+                    results: Dict[str, TaskResult]) -> None:
+        for task in order:
+            if not self._deps_ok(task, results):
+                continue
+            cached = self._check_cache(task)
+            if cached is not None:
+                results[task.id] = cached
+                continue
+            result = self._run_one_serial(task)
+            if result.ok:
+                self._store_result(task, result.value)
+            results[task.id] = result
+
+    # -- pool path -----------------------------------------------------
+    def _make_pool(self):
+        ctx = (multiprocessing.get_context(self._mp_context)
+               if self._mp_context else multiprocessing.get_context())
+        return ctx.Pool(processes=self.max_workers)
+
+    def _shutdown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def _restart_pool(self) -> bool:
+        """Kill and rebuild the pool; False once restarts are spent."""
+        self._shutdown_pool()
+        self._pool_restarts += 1
+        _POOL_RESTARTS.inc()
+        if self._pool_restarts > self.max_pool_restarts:
+            return False
+        self._pool = self._make_pool()
+        return True
+
+    def _run_pool(self, order: Sequence[Task],
+                  results: Dict[str, TaskResult]) -> None:
+        self._pool_restarts = 0
+        try:
+            self._pool = self._make_pool()
+        except Exception:
+            _DEGRADED.inc()
+            self._run_serial(order, results)
+            return
+
+        pending: Dict[str, _Pending] = {
+            task.id: _Pending(task) for task in order
+        }
+        waiting: List[str] = [task.id for task in order]  # topo order
+        running: List[str] = []
+        degraded = False
+
+        def finish(result: TaskResult) -> None:
+            results[result.id] = result
+            pending.pop(result.id, None)
+
+        def serial_fallback(p: _Pending) -> None:
+            """Last resort after pool retries: one in-process run."""
+            _FALLBACKS.inc()
+            task = p.task
+            start = time.perf_counter()
+            with obs.span("exec.task", "exec", task=task.id,
+                          mode="serial-fallback"):
+                try:
+                    value = self._validated(
+                        task, task.fn(*task.args, **task.kwargs)
+                    )
+                except Exception as error:
+                    _FAILURES.inc()
+                    finish(TaskResult(
+                        id=task.id, error=error, source="serial",
+                        attempts=p.attempts + 1,
+                        duration=time.perf_counter() - start,
+                    ))
+                    return
+            _COMPLETED.inc()
+            self._store_result(task, value)
+            finish(TaskResult(
+                id=task.id, value=value, source="serial",
+                attempts=p.attempts + 1,
+                duration=time.perf_counter() - start,
+            ))
+
+        def register_failure(p: _Pending,
+                             error: BaseException) -> None:
+            p.async_result = None
+            if p.attempts <= self._effective_retries(p.task) \
+                    and not degraded:
+                _RETRIES.inc()
+                p.not_before = (
+                    time.monotonic()
+                    + self.backoff * (2 ** (p.attempts - 1))
+                )
+                waiting.insert(0, p.task.id)
+            else:
+                serial_fallback(p)
+
+        def submit(p: _Pending) -> None:
+            task = p.task
+            p.attempts += 1
+            p.started = time.monotonic()
+            timeout = self._effective_timeout(task)
+            p.deadline = (p.started + timeout
+                          if timeout is not None else float("inf"))
+            _SUBMITTED.inc()
+            try:
+                p.async_result = self._pool.apply_async(
+                    task.fn, task.args, dict(task.kwargs)
+                )
+            except Exception as error:
+                # dispatch itself failed (unpicklable fn, dead pool):
+                # same retry/fallback ladder as a worker-side error
+                _WORKER_ERRORS.inc()
+                register_failure(p, error)
+                return
+            running.append(task.id)
+
+        def collect(p: _Pending) -> None:
+            task = p.task
+            try:
+                value = self._validated(task, p.async_result.get(0))
+            except Exception as error:
+                _WORKER_ERRORS.inc()
+                register_failure(p, error)
+                return
+            _COMPLETED.inc()
+            self._store_result(task, value)
+            finish(TaskResult(
+                id=task.id, value=value, source="pool",
+                attempts=p.attempts,
+                duration=time.monotonic() - p.started,
+            ))
+
+        while pending:
+            now = time.monotonic()
+
+            if degraded:
+                # pool gone for good: drain the remainder serially, in
+                # dependency order (`order` is already a toposort)
+                for task in order:
+                    p = pending.get(task.id)
+                    if p is None or task.id in running:
+                        continue
+                    if not self._deps_ok(task, results):
+                        pending.pop(task.id, None)
+                        continue
+                    cached = self._check_cache(task)
+                    if cached is not None:
+                        finish(cached)
+                        continue
+                    result = self._run_one_serial(task)
+                    if result.ok:
+                        self._store_result(task, result.value)
+                    finish(result)
+                break
+
+            # promote ready tasks into the pool (bounded in-flight)
+            for tid in list(waiting):
+                if len(running) >= 2 * self.max_workers:
+                    break
+                p = pending.get(tid)
+                if p is None:
+                    waiting.remove(tid)
+                    continue
+                if p.not_before > now:
+                    continue
+                task = p.task
+                if any(d in pending for d in task.deps):
+                    if not self._deps_ok(task, results):
+                        waiting.remove(tid)
+                        pending.pop(tid, None)
+                    continue
+                if not self._deps_ok(task, results):
+                    waiting.remove(tid)
+                    pending.pop(tid, None)
+                    continue
+                cached = self._check_cache(task)
+                waiting.remove(tid)
+                if cached is not None:
+                    finish(cached)
+                    continue
+                submit(p)
+
+            if not running:
+                if pending:
+                    time.sleep(_POLL_INTERVAL)  # backoff-gated tasks
+                continue
+
+            # collect finished / timed-out pool jobs
+            progressed = False
+            for tid in list(running):
+                p = pending.get(tid)
+                if p is None or p.async_result is None:
+                    running.remove(tid)
+                    continue
+                if p.async_result.ready():
+                    progressed = True
+                    running.remove(tid)
+                    collect(p)
+                elif time.monotonic() > p.deadline:
+                    progressed = True
+                    _TIMEOUTS.inc()
+                    # the hung worker must die: terminate the whole
+                    # pool; innocent in-flight tasks are requeued with
+                    # no attempt penalty
+                    running.remove(tid)
+                    innocents = [pending[i] for i in running
+                                 if i in pending]
+                    running.clear()
+                    if not self._restart_pool():
+                        degraded = True
+                        _DEGRADED.inc()
+                    for other in innocents:
+                        other.async_result = None
+                        other.attempts -= 1
+                        waiting.insert(0, other.task.id)
+                    register_failure(p, TimeoutError(
+                        f"task {tid!r} exceeded "
+                        f"{self._effective_timeout(p.task):g}s"
+                    ))
+                    break
+            if not progressed:
+                time.sleep(_POLL_INTERVAL)
+
+
+def run_tasks(tasks: Sequence[Task], *, max_workers: int = 0,
+              **engine_kwargs: Any) -> Dict[str, TaskResult]:
+    """One-shot convenience wrapper around :class:`ExecutionEngine`."""
+    return ExecutionEngine(max_workers=max_workers,
+                           **engine_kwargs).run(tasks)

@@ -1,0 +1,144 @@
+"""Picklable task payload functions + cache-key builders.
+
+Everything the artifact pipeline ships to pool workers lives here as a
+module-level function (so it pickles by reference), together with the
+key builders that make those payloads content-addressable:
+
+* :func:`artifact_config` — one ``output_<domain>_<size>.txt`` report
+  plus its summary-table cells (the per-(model, table) unit);
+* :func:`report_exhibit` — one rendered paper table/figure;
+* :func:`sweep_shard` — one chunk of a domain sweep's binding matrix,
+  merged row-for-row by :func:`repro.analysis.sweep.sweep_domain`.
+
+Keys combine the structural hash of every graph the computation reads
+(which folds in op-cost metadata), the bindings, and the package
+version — see :func:`repro.exec.store.content_key`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..graph.serialize import structural_hash
+from ..models.registry import DOMAINS, build_symbolic
+from .store import content_key
+
+__all__ = [
+    "artifact_config", "artifact_config_key",
+    "report_exhibit", "report_exhibit_key",
+    "sweep_shard", "registry_fingerprint",
+]
+
+#: memoized per-domain structural hashes (building + hashing a large
+#: unrolled graph costs ~0.5 s; every key of a run reuses these)
+_DOMAIN_HASHES: Dict[str, str] = {}
+
+
+def domain_hash(key: str) -> str:
+    """Structural hash of one registry domain's training graph."""
+    cached = _DOMAIN_HASHES.get(key)
+    if cached is None:
+        cached = structural_hash(build_symbolic(key).graph)
+        _DOMAIN_HASHES[key] = cached
+    return cached
+
+
+def registry_fingerprint(keys: Optional[Sequence[str]] = None) -> str:
+    """One digest over several domains' graphs (default: all five).
+
+    Report exhibits read multiple domains (a table row per domain), so
+    their cache keys fold in the whole registry.
+    """
+    keys = list(keys) if keys is not None else sorted(DOMAINS)
+    return content_key("registry", [(k, domain_hash(k)) for k in keys])
+
+
+# -- artifact config units ---------------------------------------------------
+
+def artifact_config(key: str, size: float) -> dict:
+    """Worker payload: full analysis of one (domain, size) config.
+
+    Returns the rendered per-model report and the gathered-summary row
+    cells; the parent writes files, so output bytes and ordering are
+    identical no matter which process produced the payload.
+    """
+    from ..analysis.counters import StepCounts
+    from ..reports.common import si
+    from ..reports.describe import describe_model
+
+    model = build_symbolic(key)
+    subbatch = DOMAINS[key].subbatch
+    report = describe_model(model, size=size, subbatch=subbatch)
+
+    counts = StepCounts(model)
+    bindings = counts.bind(size, subbatch)
+    ct = counts.step_flops.evalf(bindings)
+    at = counts.step_bytes.evalf(bindings)
+    summary_row = [
+        DOMAINS[key].display,
+        f"{size:g}",
+        si(counts.params.evalf(bindings)),
+        si(ct) + "FLOP",
+        si(at) + "B",
+        f"{ct / at:.1f}",
+    ]
+    return {"report": report, "summary_row": summary_row}
+
+
+def artifact_config_key(key: str, size: float) -> str:
+    return content_key("artifact_config", key, float(size),
+                       DOMAINS[key].subbatch, domain_hash(key))
+
+
+def artifact_payload_ok(payload: object) -> bool:
+    """Corrupt-payload gate for :func:`artifact_config` results."""
+    return (isinstance(payload, dict)
+            and isinstance(payload.get("report"), str)
+            and isinstance(payload.get("summary_row"), list)
+            and len(payload["summary_row"]) == 6)
+
+
+# -- report exhibits ---------------------------------------------------------
+
+def report_exhibit(name: str):
+    """Worker payload: one generated paper exhibit (Table/Figure)."""
+    from .. import obs
+    from ..reports import ALL_REPORTS
+
+    # one span per table/figure, nested under the engine's task span
+    # when running serially (worker-process spans stay in the worker)
+    with obs.span(f"report.{name}", "report"):
+        with obs.span("report.generate", "report", exhibit=name):
+            return ALL_REPORTS[name]()
+
+
+def report_exhibit_key(name: str) -> str:
+    return content_key("report_exhibit", name, registry_fingerprint())
+
+
+# -- sweep shards ------------------------------------------------------------
+
+def sweep_shard(key: str, sizes: Tuple[float, ...], subbatch: int,
+                include_footprint: bool,
+                engine: str) -> List[tuple]:
+    """Worker payload: the sweep rows for one chunk of sizes.
+
+    Rows come back as plain tuples (``dataclasses.astuple`` order) so
+    the payload pickles small; the parent rebuilds ``SweepRow`` and
+    fits the first-order model over the merged series.
+    """
+    from dataclasses import astuple
+
+    from ..analysis.sweep import compute_sweep_rows
+
+    rows = compute_sweep_rows(key, list(sizes), subbatch,
+                              include_footprint=include_footprint,
+                              engine=engine)
+    return [astuple(row) for row in rows]
+
+
+def sweep_shard_key(key: str, sizes: Sequence[float], subbatch: int,
+                    include_footprint: bool, engine: str) -> str:
+    return content_key("sweep_shard", key, [float(s) for s in sizes],
+                       subbatch, include_footprint, engine,
+                       domain_hash(key))

@@ -14,6 +14,7 @@ footprint, execution) gives identical results.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any, Callable, Dict, Tuple
 
@@ -24,7 +25,7 @@ from .op import Op
 from .tensor import Tensor
 
 __all__ = ["save_graph", "load_graph", "save_graph_file",
-           "load_graph_file"]
+           "load_graph_file", "structural_hash", "cost_fingerprint"]
 
 
 # -- per-class attribute codecs ----------------------------------------------
@@ -334,6 +335,48 @@ def load_graph(data: Dict[str, Any]) -> Graph:
         graph.tensors[entry["name"]].requires_grad = \
             entry["requires_grad"]
     return graph
+
+
+def cost_fingerprint(graph: Graph) -> Dict[str, Any]:
+    """Declared cost metadata of every op class used by ``graph``.
+
+    The checkpoint encodes structure and op configuration but not the
+    per-class cost *declarations* (``cost_writes_outputs`` etc., see
+    :mod:`repro.check.costs`); a cache key built only from structure
+    would survive a metadata change that alters analysis results.
+    Sorted by class name so the dict is deterministic.
+    """
+    out: Dict[str, Any] = {}
+    for op in graph.ops:
+        cls = type(op)
+        out.setdefault(cls.__name__, {
+            "kind": cls.kind,
+            "cost_writes_outputs": bool(cls.cost_writes_outputs),
+            "cost_bytes_passes": cls.cost_bytes_passes,
+            "cost_degree": cls.cost_degree,
+            "is_optimizer": bool(cls.is_optimizer),
+        })
+    return {name: out[name] for name in sorted(out)}
+
+
+def structural_hash(graph: Graph) -> str:
+    """Stable content hash of a graph's analyzable structure.
+
+    SHA-256 over the canonical-JSON checkpoint encoding plus the
+    per-op-class cost metadata.  Two graphs hash equal iff every
+    analysis over them (FLOPs, bytes, footprint, lint) is guaranteed to
+    agree: tensors, shapes, dtypes, op wiring, op configuration, and
+    declared cost semantics all feed the digest.  The hash is stable
+    across processes and Python versions (no ``id()``/``hash()``
+    ingredients), so it is usable as an on-disk cache-key component.
+    """
+    payload = {
+        "checkpoint": save_graph(graph),
+        "op_costs": cost_fingerprint(graph),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def save_graph_file(graph: Graph, path: str) -> None:

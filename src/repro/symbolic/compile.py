@@ -341,6 +341,16 @@ class CompiledExpr:
             return out[:, 0]
         return out
 
+    # -- pickling ------------------------------------------------------
+    # Tapes cross process boundaries (repro.exec ships compiled sweep
+    # shards to pool workers) and land in the on-disk result store, so
+    # the pickle payload is the tape proper: code, symbols, and output
+    # slots.  ``_sym_index`` is derived state, rebuilt by __init__ on
+    # load instead of serialized.
+    def __reduce__(self):
+        return (_rebuild_compiled, (self.code, self.symbols,
+                                    self.out_slots, self._single))
+
     # -- introspection -------------------------------------------------
     def __len__(self) -> int:
         return len(self.code)
@@ -349,6 +359,11 @@ class CompiledExpr:
         return (f"CompiledExpr({len(self.code)} instrs, "
                 f"{len(self.symbols)} symbols, "
                 f"{len(self.out_slots)} outputs)")
+
+
+def _rebuild_compiled(code, symbols, out_slots, single) -> "CompiledExpr":
+    """Unpickle hook for :class:`CompiledExpr` (module-level for pickle)."""
+    return CompiledExpr(code, symbols, out_slots, single=single)
 
 
 def _record_compile(span, comp: _Compiler, n_exprs: int) -> None:

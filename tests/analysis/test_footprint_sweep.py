@@ -74,19 +74,28 @@ class TestSweep:
         fl = [r.flops_per_sample for r in result.rows]
         assert fl == sorted(fl)
 
-    def test_sweep_memoized_with_defensive_copies(self):
-        """The cache reuses the computed sweep but callers get copies:
-        mutating one result must not corrupt later consumers."""
+    def test_sweep_memoized_and_immutable(self):
+        """The cache shares one frozen master: no defensive deep copy
+        per hit, and any attempted mutation raises instead of silently
+        corrupting later consumers."""
+        import dataclasses
+
         a = sweep_domain("image", sizes=[1, 2], include_footprint=False)
         b = sweep_domain("image", sizes=[1, 2], include_footprint=False)
-        assert a is not b
-        assert a.rows == b.rows
-        assert a.fitted == b.fitted
-        a.rows[0].params = -1.0
-        a.symbolic.phi = 123.0
+        assert a is b  # shared immutable master, not a copy
+        assert isinstance(a.rows, tuple)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            a.rows[0].params = -1.0
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            a.symbolic.phi = 123.0
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            a.subbatch = 7
+        # derived copies still work, and leave the master untouched
+        tweaked = dataclasses.replace(a.symbolic, phi=123.0)
+        assert tweaked.phi == 123.0
         c = sweep_domain("image", sizes=[1, 2], include_footprint=False)
+        assert c.symbolic.phi == a.symbolic.phi
         assert c.rows == b.rows
-        assert c.symbolic.phi == b.symbolic.phi
 
     def test_sweep_cache_is_bounded(self):
         from repro.analysis import sweep as sweep_mod

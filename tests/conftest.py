@@ -1,0 +1,38 @@
+"""Suite-wide fixtures: result-store isolation + golden-file flags."""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="regenerate the checked-in golden JSON snapshots under "
+             "tests/golden/goldens/ from the current pipeline output "
+             "instead of comparing against them",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_golden(request):
+    return request.config.getoption("--update-golden")
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_result_store(tmp_path_factory):
+    """Point the repro.exec result store at a per-session tmp dir.
+
+    The CLI defaults to ``~/.cache/repro``; tests must neither read a
+    developer's warm cache (stale results would mask regressions) nor
+    write into it.
+    """
+    import os
+
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("repro-result-store")
+    )
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old

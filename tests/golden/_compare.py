@@ -1,0 +1,179 @@
+"""Snapshot + value-level diff helpers for the golden regression suite.
+
+A golden file is a plain-JSON snapshot of one paper exhibit (Table or
+Figure).  Comparison is *value-level*, not textual: every table cell is
+split into numeric tokens and a text skeleton, numeric tokens are
+compared under a per-exhibit relative tolerance, and the skeleton (unit
+suffixes like ``P``/``G``/``%``, words, punctuation) must match
+exactly.  A mismatch names the exhibit, row, and column — "table3, row
+'Word LM', column 'Params': 1.44 vs 1.5 (rel err 4.0e-02 > tol
+1.0e-06)" — so a failing run reads like a review comment, not a wall
+of JSON.
+"""
+
+import json
+import math
+import os
+import re
+from typing import Any, Dict, List
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "goldens")
+
+#: default per-cell relative tolerance.  Exhibit values are
+#: deterministic closed-form arithmetic rendered through fixed format
+#: strings, so the tolerance only absorbs float-formatting jitter; a
+#: formula change trips it immediately.
+DEFAULT_REL_TOL = 1e-6
+
+_NUM_RE = re.compile(r"[-+]?\d+\.?\d*(?:[eE][-+]?\d+)?")
+
+
+# -- snapshot ----------------------------------------------------------------
+
+def snapshot_exhibit(report: Any) -> Dict[str, Any]:
+    """Plain-JSON view of a Table or Figure report object."""
+    from repro.reports import Figure, Table
+
+    if isinstance(report, Table):
+        return {
+            "kind": "table",
+            "title": report.title,
+            "headers": [str(h) for h in report.headers],
+            "rows": [[str(c) for c in row] for row in report.rows],
+            "notes": [str(n) for n in report.notes],
+        }
+    if isinstance(report, Figure):
+        return {
+            "kind": "figure",
+            "title": report.title,
+            "x_label": report.x_label,
+            "y_label": report.y_label,
+            "series": [
+                {
+                    "label": s.label,
+                    "x": [float(v) for v in s.x],
+                    "y": [float(v) for v in s.y],
+                }
+                for s in report.series
+            ],
+        }
+    raise TypeError(f"cannot snapshot {type(report).__name__}")
+
+
+def golden_path(name: str) -> str:
+    return os.path.join(GOLDEN_DIR, f"{name}.json")
+
+
+def load_golden(name: str) -> Dict[str, Any]:
+    with open(golden_path(name)) as handle:
+        return json.load(handle)
+
+
+def save_golden(name: str, snapshot: Dict[str, Any]) -> str:
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    path = golden_path(name)
+    with open(path, "w") as handle:
+        json.dump(snapshot, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+# -- value-level comparison --------------------------------------------------
+
+def tokenize_cell(cell: str):
+    """Split a rendered cell into (numeric tokens, text skeleton).
+
+    ``"1.44P"`` -> ``([1.44], "#P")``; ``"Word LM"`` -> ``([], "Word
+    LM")``.  The skeleton keeps a ``#`` marker per number so "95%" and
+    "%95" stay distinguishable.
+    """
+    numbers = [float(tok) for tok in _NUM_RE.findall(cell)]
+    skeleton = _NUM_RE.sub("#", cell)
+    return numbers, skeleton
+
+
+def numbers_close(a: float, b: float, rel_tol: float) -> bool:
+    if a == b:
+        return True
+    if math.isnan(a) or math.isnan(b):
+        return False
+    return abs(a - b) <= max(rel_tol * max(abs(a), abs(b)), 1e-12)
+
+
+def _compare_cell(actual: str, expected: str, rel_tol: float):
+    """None if the cells agree, else a human-readable reason."""
+    a_nums, a_skel = tokenize_cell(actual)
+    e_nums, e_skel = tokenize_cell(expected)
+    if a_skel != e_skel or len(a_nums) != len(e_nums):
+        return f"{actual!r} != {expected!r} (text/format differs)"
+    for a, e in zip(a_nums, e_nums):
+        if not numbers_close(a, e, rel_tol):
+            denom = max(abs(a), abs(e)) or 1.0
+            rel = abs(a - e) / denom
+            return (f"{a:g} vs {e:g} (rel err {rel:.1e} > "
+                    f"tol {rel_tol:.1e})")
+    return None
+
+
+def diff_table(name: str, actual: Dict, expected: Dict,
+               rel_tol: float) -> List[str]:
+    diffs: List[str] = []
+    if actual["headers"] != expected["headers"]:
+        diffs.append(f"{name}: headers {actual['headers']!r} != "
+                     f"{expected['headers']!r}")
+        return diffs
+    if len(actual["rows"]) != len(expected["rows"]):
+        diffs.append(f"{name}: {len(actual['rows'])} rows, golden has "
+                     f"{len(expected['rows'])}")
+        return diffs
+    headers = expected["headers"]
+    for i, (arow, erow) in enumerate(zip(actual["rows"],
+                                         expected["rows"])):
+        row_label = erow[0] if erow else str(i)
+        for j, (acell, ecell) in enumerate(zip(arow, erow)):
+            reason = _compare_cell(acell, ecell, rel_tol)
+            if reason is not None:
+                column = headers[j] if j < len(headers) else f"col {j}"
+                diffs.append(f"{name}, row {row_label!r}, column "
+                             f"{column!r}: {reason}")
+    return diffs
+
+
+def diff_figure(name: str, actual: Dict, expected: Dict,
+                rel_tol: float) -> List[str]:
+    diffs: List[str] = []
+    a_labels = [s["label"] for s in actual["series"]]
+    e_labels = [s["label"] for s in expected["series"]]
+    if a_labels != e_labels:
+        diffs.append(f"{name}: series {a_labels!r} != {e_labels!r}")
+        return diffs
+    for a_series, e_series in zip(actual["series"],
+                                  expected["series"]):
+        label = e_series["label"]
+        for axis in ("x", "y"):
+            a_vals, e_vals = a_series[axis], e_series[axis]
+            if len(a_vals) != len(e_vals):
+                diffs.append(f"{name}, series {label!r}: {len(a_vals)} "
+                             f"{axis}-points, golden has {len(e_vals)}")
+                continue
+            for i, (a, e) in enumerate(zip(a_vals, e_vals)):
+                if not numbers_close(a, e, rel_tol):
+                    denom = max(abs(a), abs(e)) or 1.0
+                    diffs.append(
+                        f"{name}, series {label!r}, {axis}[{i}]: "
+                        f"{a:g} vs {e:g} (rel err "
+                        f"{abs(a - e) / denom:.1e} > "
+                        f"tol {rel_tol:.1e})")
+    return diffs
+
+
+def diff_exhibit(name: str, actual: Dict, expected: Dict,
+                 rel_tol: float = DEFAULT_REL_TOL) -> List[str]:
+    """All value-level differences between two snapshots (empty =
+    match)."""
+    if actual["kind"] != expected["kind"]:
+        return [f"{name}: kind {actual['kind']!r} != "
+                f"{expected['kind']!r}"]
+    if actual["kind"] == "table":
+        return diff_table(name, actual, expected, rel_tol)
+    return diff_figure(name, actual, expected, rel_tol)

@@ -174,8 +174,10 @@ class TestCLI:
         obs.clear()
         trace_path = tmp_path / "t.json"
         try:
+            # --no-cache so generation really runs (a result-store hit
+            # would skip the report.table1 span this test asserts on)
             assert main(["table1", "--csv", "--trace", str(trace_path),
-                         "--metrics"]) == 0
+                         "--metrics", "--no-cache"]) == 0
         finally:
             obs.disable()
             obs.clear()

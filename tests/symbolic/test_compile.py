@@ -205,3 +205,35 @@ class TestEvalfFn:
         fn = evalf_fn(h * v, h, fixed={})
         with pytest.raises(ValueError, match="unbound symbol"):
             fn(2.0)
+
+
+class TestPickleRoundTrip:
+    """Compiled tapes ship to repro.exec pool workers, so they must
+    survive pickling with bit-identical behavior."""
+
+    def test_scalar_program_survives(self):
+        import pickle
+
+        program = compile_expr(KITCHEN_SINK)
+        clone = pickle.loads(pickle.dumps(program))
+        binding = {h: 512, b: 96, v: 10000}
+        assert clone(binding) == program(binding)
+        assert len(clone) == len(program)
+
+    def test_batch_program_and_eval_many_survive(self):
+        import pickle
+
+        program = compile_batch([KITCHEN_SINK, h * b + v, sqrt(h)])
+        clone = pickle.loads(pickle.dumps(program))
+        rows = [{h: 64, b: 8, v: 100}, {h: 2048, b: 96, v: 50257}]
+        np.testing.assert_array_equal(clone.eval_many(rows),
+                                      program.eval_many(rows))
+
+    def test_symbol_index_rebuilt(self):
+        # the derived _sym_index is dropped by __reduce__ and must be
+        # reconstructed so name-keyed bindings still resolve
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(compile_expr(h * b)))
+        assert clone({"h": 3, "b": 4}) == 12.0
+        assert clone.slot_of(h) == clone.slot_of("h")

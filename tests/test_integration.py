@@ -95,8 +95,10 @@ class TestPipelineComposition:
         from repro.scaling import project_domain
 
         model = build_word_lm(seq_len=8, vocab=1000, layers=2)
+        from dataclasses import replace
+
         fo = derive_symbolic(StepCounts(model))
-        fo.delta, fo.phi = 12.0, 50.0
+        fo = replace(fo, delta=12.0, phi=50.0)
         proj = project_domain("word_lm")
         choice = choose_subbatch(fo, proj.target_params, V100_LIKE)
         rt = roofline_time(
