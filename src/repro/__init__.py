@@ -21,11 +21,13 @@ pipeline from scratch:
 * :mod:`repro.planner` — subbatch selection and the data/model
   parallelism case study,
 * :mod:`repro.reports` — regenerates every table and figure of the
-  paper's evaluation.
+  paper's evaluation,
+* :mod:`repro.errors` — the pipeline-wide error taxonomy (stable
+  ``E-*`` codes, context chains, CLI exit codes).
 """
 
 __version__ = "1.0.0"
 
-from . import symbolic  # noqa: F401  (re-exported subpackages)
+from . import errors, symbolic  # noqa: F401  (re-exported subpackages)
 
-__all__ = ["symbolic", "__version__"]
+__all__ = ["symbolic", "errors", "__version__"]

@@ -15,10 +15,13 @@ when the builder left one free):
 
 from __future__ import annotations
 
+import math
+import numbers
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..errors import BindingError
 from ..models.base import BuiltModel
 from ..obs.metrics import counter as _obs_counter
 from ..symbolic import CompiledExpr, Expr, coefficient, compile_batch, compile_expr
@@ -106,16 +109,48 @@ class StepCounts:
         return self._coeff("bytes", "step_bytes", 0)
 
     # -- evaluated quantities -------------------------------------------------
+    def _checked_dim(self, label: str, value):
+        """Boundary guard: dimensions are positive finite reals."""
+        if (isinstance(value, bool)
+                or not isinstance(value, numbers.Real)):
+            raise BindingError(
+                f"{label} must be a positive real number, got "
+                f"{type(value).__name__} {value!r}",
+                hint="sizes and subbatches are numeric knobs (hidden "
+                     "width, width multiplier, samples per step)",
+            ).add_context(model=self.model.domain)
+        value = float(value)
+        if not math.isfinite(value) or value <= 0:
+            raise BindingError(
+                f"{label} must be positive and finite, got {value:g}",
+                hint="a dimension of zero or below (or NaN/Inf) makes "
+                     "every FLOP/byte formula meaningless",
+            ).add_context(model=self.model.domain)
+        return value
+
     def bind(self, size=None, subbatch=None,
              extra: Optional[Mapping] = None) -> dict:
-        """Assemble a bindings dict for this model's free symbols."""
+        """Assemble a bindings dict for this model's free symbols.
+
+        The boundary where user knobs become symbol bindings:
+        ``size``/``subbatch`` are validated here (positive, finite,
+        real), so a bad ``--size``/``--subbatch``/config value raises
+        :class:`~repro.errors.BindingError` (E-BIND) naming the model
+        instead of surfacing as an overflow ten layers down.
+        """
         bindings = dict(extra or {})
         if size is not None:
             if self.model.size_symbol is None:
-                raise ValueError("model was built with a concrete size")
-            bindings[self.model.size_symbol] = size
+                raise BindingError(
+                    "model was built with a concrete size",
+                    hint="rebuild the model with the size symbol left "
+                         "free to sweep it",
+                ).add_context(model=self.model.domain)
+            bindings[self.model.size_symbol] = self._checked_dim(
+                "size", size)
         if subbatch is not None:
-            bindings[self.model.batch] = subbatch
+            bindings[self.model.batch] = self._checked_dim(
+                "subbatch", subbatch)
         return bindings
 
     # -- compiled evaluation --------------------------------------------------

@@ -35,6 +35,7 @@ from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Tuple
 
 from .. import obs
+from ..errors import error_context
 from ..models.registry import DomainEntry, build_symbolic, get_domain
 from .counters import StepCounts
 from .firstorder import FirstOrderModel, derive_symbolic, fit_numeric
@@ -160,6 +161,15 @@ def compute_sweep_rows(key: str, sizes: Sequence[float],
     """
     if engine not in ("compiled", "treewalk"):
         raise ValueError(f"unknown sweep engine {engine!r}")
+    with error_context(model=key, stage="sweep", subbatch=subbatch):
+        return _compute_sweep_rows(key, sizes, subbatch,
+                                   include_footprint=include_footprint,
+                                   engine=engine)
+
+
+def _compute_sweep_rows(key: str, sizes: Sequence[float],
+                        subbatch: int, *, include_footprint: bool,
+                        engine: str) -> List[SweepRow]:
     counts = _counts_for(key)
     model = counts.model
     sizes = list(sizes)

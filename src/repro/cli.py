@@ -24,6 +24,13 @@ content-addressed on-disk store (keyed on the registry's structural
 graph hashes) so a repeated invocation is warm-start; ``--no-cache`` /
 ``--cache-dir`` control the store.
 
+Long multi-exhibit runs are resumable: ``--run-dir PATH`` journals
+every completed exhibit under ``PATH/.runstate/`` (crash-safe appends),
+a first Ctrl-C drains and exits with code 3, and adding ``--resume``
+replays journal-verified exhibits instead of recomputing them.
+Errors exit 1 with a one-paragraph ``[E-*]`` message (``--debug`` for
+the raw traceback).
+
 Diagnostics go to stderr so ``--csv`` output stays pipeable.
 """
 
@@ -31,11 +38,19 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import ExitStack
 from typing import List, Optional
 
 from . import obs
-from .artifact import add_exec_arguments, store_from_args
+from .artifact import (
+    add_exec_arguments,
+    add_resilience_arguments,
+    run_cli,
+    store_from_args,
+)
 from .exec.engine import ExecutionEngine, Task
+from .exec.journal import RunJournal
+from .exec.signals import GracefulShutdown
 from .exec.tasks import report_exhibit, report_exhibit_key
 from .reports import ALL_REPORTS
 
@@ -77,6 +92,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     add_exec_arguments(parser)
     parser.add_argument(
+        "--run-dir", metavar="PATH", default=None,
+        help="journal completed exhibits under PATH/.runstate/ so an "
+             "interrupted run can be resumed (--resume)",
+    )
+    add_resilience_arguments(parser)
+    parser.add_argument(
         "--trace", metavar="PATH", default=None,
         help="enable repro.obs tracing and write a Chrome "
              "trace_events JSON to PATH (chrome://tracing / Perfetto)",
@@ -92,56 +113,76 @@ def main(argv: Optional[List[str]] = None) -> int:
              "after the reports",
     )
     args = parser.parse_args(argv)
+    if args.resume and not args.run_dir:
+        parser.error("--resume requires --run-dir")
 
     observing = bool(args.trace or args.trace_jsonl or args.metrics)
     if observing:
         obs.enable()
 
-    if args.exhibit == "describe":
-        from .reports import describe_domain
+    def body() -> int:
+        if args.exhibit == "describe":
+            from .reports import describe_domain
 
-        with obs.span("report.describe", "report", domain=args.domain):
-            print(describe_domain(args.domain, size=args.size,
-                                  subbatch=args.subbatch))
-    else:
-        names = (sorted(ALL_REPORTS) if args.exhibit == "all"
-                 else [args.exhibit])
-        store = store_from_args(args)
-        tasks = [
-            Task(
-                id=f"report:{name}",
-                fn=report_exhibit,
-                args=(name,),
-                key=(report_exhibit_key(name)
-                     if store is not None else None),
-            )
-            for name in names
-        ]
-        engine = ExecutionEngine(max_workers=args.max_workers,
-                                 store=store)
-        with obs.span("report.generate_all", "report",
-                      n_exhibits=len(names),
-                      max_workers=args.max_workers):
-            results = engine.run(tasks)
-        for name, task in zip(names, tasks):
-            # one span per table/figure: rendering happens in the
-            # parent so the trace shows where the time went
-            report = results[task.id].value
-            with obs.span("report.render", "report", exhibit=name,
-                          csv=args.csv):
-                out = report.to_csv() if args.csv else report.render()
-            print(out)
-            print()
+            with obs.span("report.describe", "report",
+                          domain=args.domain):
+                print(describe_domain(args.domain, size=args.size,
+                                      subbatch=args.subbatch))
+        else:
+            names = (sorted(ALL_REPORTS) if args.exhibit == "all"
+                     else [args.exhibit])
+            store = store_from_args(args)
+            tasks = [
+                Task(
+                    id=f"report:{name}",
+                    fn=report_exhibit,
+                    args=(name,),
+                    key=(report_exhibit_key(name)
+                         if store is not None else None),
+                )
+                for name in names
+            ]
+            with ExitStack() as stack:
+                journal = None
+                if args.run_dir:
+                    journal = stack.enter_context(
+                        RunJournal(args.run_dir, resume=args.resume))
+                shutdown = stack.enter_context(GracefulShutdown())
+                engine = ExecutionEngine(
+                    max_workers=args.max_workers, store=store,
+                    journal=journal,
+                    stop=shutdown.stop_requested,
+                )
+                with obs.span("report.generate_all", "report",
+                              n_exhibits=len(names),
+                              max_workers=args.max_workers):
+                    results = engine.run(tasks)
+                if journal is not None and journal.skipped:
+                    print(f"resumed: {journal.skipped} exhibit(s) "
+                          "verified and skipped from the journal",
+                          file=sys.stderr)
+            for name, task in zip(names, tasks):
+                # one span per table/figure: rendering happens in the
+                # parent so the trace shows where the time went
+                report = results[task.id].value
+                with obs.span("report.render", "report", exhibit=name,
+                              csv=args.csv):
+                    out = (report.to_csv() if args.csv
+                           else report.render())
+                print(out)
+                print()
 
-    if args.trace:
-        path = obs.write_chrome_trace(args.trace)
-        print(f"wrote Chrome trace: {path}", file=sys.stderr)
-    if args.trace_jsonl:
-        path = obs.write_jsonl(args.trace_jsonl)
-        print(f"wrote span JSONL: {path}", file=sys.stderr)
-    if args.metrics:
-        print(obs.summary(), file=sys.stderr)
-    return 0
+        if args.trace:
+            path = obs.write_chrome_trace(args.trace)
+            print(f"wrote Chrome trace: {path}", file=sys.stderr)
+        if args.trace_jsonl:
+            path = obs.write_jsonl(args.trace_jsonl)
+            print(f"wrote span JSONL: {path}", file=sys.stderr)
+        if args.metrics:
+            print(obs.summary(), file=sys.stderr)
+        return 0
+
+    return run_cli(body, debug=args.debug)
 
 
 if __name__ == "__main__":  # pragma: no cover

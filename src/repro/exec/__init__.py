@@ -27,6 +27,15 @@ path:
   the artifact pipeline fans out (config reports, report exhibits,
   sweep shards).
 
+* **journal** (:mod:`.journal`) — the crash-safe append-only run
+  journal behind ``--resume``: every task completion is durable the
+  moment it happens, and a resumed run replays only digest-verified
+  work.
+
+* **signals** (:mod:`.signals`) — two-stage SIGINT/SIGTERM handling:
+  first signal drains and checkpoints (exit code 3, resumable), second
+  hard-aborts.
+
 Cache hits/misses/evictions and engine retries/timeouts/fallbacks are
 counted in :mod:`repro.obs` metrics and visible via ``--metrics``.
 """
@@ -38,9 +47,12 @@ from .engine import (
     TaskResult,
     run_tasks,
 )
+from .journal import STATE_DIRNAME, RunJournal
+from .signals import GracefulShutdown
 from .store import ResultStore, content_key, default_cache_dir
 
 __all__ = [
     "ExecutionEngine", "Task", "TaskResult", "ExecError", "run_tasks",
     "ResultStore", "content_key", "default_cache_dir",
+    "RunJournal", "STATE_DIRNAME", "GracefulShutdown",
 ]

@@ -22,6 +22,19 @@ Results can be warm-started through a
 looked up before dispatch and stored after success.  Every decision is
 counted in :mod:`repro.obs` metrics (``exec.tasks.*``, ``exec.pool.*``)
 and the run is wrapped in spans so ``--trace`` shows the schedule.
+
+Two resilience hooks make whole runs (not just tasks) fault-tolerant:
+
+* a :class:`~repro.exec.journal.RunJournal` — every task outcome is
+  appended to the crash-safe run journal as it happens, and
+  journaled-complete tasks are *replayed* (skipped) on a resumed run
+  after their payloads and output files re-verify by digest;
+* a ``stop`` callable (see
+  :class:`~repro.exec.signals.GracefulShutdown`) polled between task
+  completions — when it flips, the engine stops launching work, drains
+  what is in flight, checkpoints the journal, and raises
+  :class:`~repro.errors.RunInterrupted` (the CLIs map it to the
+  resumable exit code 3).
 """
 
 from __future__ import annotations
@@ -41,6 +54,9 @@ from typing import (
 )
 
 from .. import obs
+from ..errors import ReproError, RunInterrupted
+from .journal import RunJournal
+from .signals import ignore_interrupts_in_worker
 from .store import ResultStore
 
 __all__ = ["Task", "TaskResult", "ExecError", "ExecutionEngine",
@@ -57,6 +73,7 @@ _FALLBACKS = obs.counter("exec.tasks.serial_fallback")
 _FAILURES = obs.counter("exec.tasks.failed")
 _POOL_RESTARTS = obs.counter("exec.pool.restarts")
 _DEGRADED = obs.counter("exec.engine.degraded")
+_INTERRUPTED = obs.counter("resilience.signals.runs_interrupted")
 
 #: polling granularity of the result-collection loop, seconds.  Tasks
 #: are second-scale analyses, so 10 ms adds no measurable latency.
@@ -101,11 +118,15 @@ class TaskResult:
         return self.error is None
 
 
-class ExecError(RuntimeError):
+class ExecError(ReproError, RuntimeError):
     """Raised when tasks fail permanently (after retry + fallback).
 
     Carries the full result map so callers can salvage completed work.
+    A :class:`~repro.errors.ReproError` (code ``E-EXEC``): the CLI
+    renders each failed task's own taxonomy error, contexts included.
     """
+
+    code = "E-EXEC"
 
     def __init__(self, failed: Sequence[TaskResult],
                  results: Dict[str, TaskResult]):
@@ -118,6 +139,16 @@ class ExecError(RuntimeError):
         super().__init__(
             f"{len(self.failed)} task(s) failed permanently: {detail}"
         )
+
+    def render(self) -> str:
+        from ..errors import render_error
+
+        lines = [f"[{self.code}] {len(self.failed)} task(s) failed "
+                 "permanently:"]
+        for result in self.failed:
+            lines.append(f"  - {result.id}: "
+                         f"{render_error(result.error)}")
+        return "\n".join(lines)
 
 
 class _Pending:
@@ -178,7 +209,9 @@ class ExecutionEngine:
                  backoff: float = 0.05,
                  store: Optional[ResultStore] = None,
                  max_pool_restarts: int = 3,
-                 mp_context: Optional[str] = None):
+                 mp_context: Optional[str] = None,
+                 journal: Optional[RunJournal] = None,
+                 stop: Optional[Callable[[], bool]] = None):
         if max_workers < 0:
             raise ValueError("max_workers must be >= 0")
         self.max_workers = max_workers
@@ -187,19 +220,36 @@ class ExecutionEngine:
         self.backoff = backoff
         self.store = store
         self.max_pool_restarts = max_pool_restarts
+        self.journal = journal
+        self.stop = stop
         self._mp_context = mp_context
         self._pool = None
         self._pool_restarts = 0
+        self._on_result: Optional[Callable[[Task, TaskResult],
+                                           Optional[Mapping]]] = None
 
     # -- public API ----------------------------------------------------
-    def run(self, tasks: Sequence[Task]) -> Dict[str, TaskResult]:
+    def run(self, tasks: Sequence[Task],
+            on_result: Optional[Callable[[Task, TaskResult],
+                                         Optional[Mapping]]] = None
+            ) -> Dict[str, TaskResult]:
         """Execute the DAG; returns ``{task id: TaskResult}``.
 
+        ``on_result`` runs *in the parent* for every fresh successful
+        result (pool, serial, or store-cache — not journal replays);
+        its return value, if any, is a mapping of extra journal
+        metadata (e.g. ``{"files": {relpath: digest}}``) folded into
+        the task's journal record.
+
         Raises :class:`ExecError` if any task still fails after retry
-        and serial fallback (partial results ride on the exception).
+        and serial fallback (partial results ride on the exception),
+        and :class:`~repro.errors.RunInterrupted` when the ``stop``
+        poll flips mid-run (in-flight work is drained and journaled
+        first; completed results ride on the exception).
         """
         order = _toposort(tasks)
         results: Dict[str, TaskResult] = {}
+        self._on_result = on_result
         with obs.span("exec.run", "exec", tasks=len(order),
                       max_workers=self.max_workers):
             try:
@@ -209,10 +259,54 @@ class ExecutionEngine:
                     self._run_pool(order, results)
             finally:
                 self._shutdown_pool()
+                self._on_result = None
+                if self.journal is not None:
+                    self.journal.checkpoint()
         failed = [r for r in results.values() if not r.ok]
         if failed:
             raise ExecError(failed, results)
         return results
+
+    # -- resilience helpers --------------------------------------------
+    def _stop_requested(self) -> bool:
+        return self.stop is not None and bool(self.stop())
+
+    def _interrupt(self, order: Sequence[Task],
+                   results: Dict[str, TaskResult]) -> None:
+        """Checkpoint and raise once the drain is complete."""
+        _INTERRUPTED.inc()
+        if self.journal is not None:
+            self.journal.checkpoint()
+        pending = tuple(t.id for t in order if t.id not in results)
+        raise RunInterrupted(
+            f"run interrupted after {len(results)} of {len(order)} "
+            "task(s); completed work is journaled",
+            results=results, pending=pending,
+            hint="rerun with --resume to continue from the journal",
+        )
+
+    def _finish_ok(self, task: Task, result: TaskResult) -> None:
+        """Parent-side completion hook: callback + journal append."""
+        extra: Optional[Mapping] = None
+        if self._on_result is not None:
+            extra = self._on_result(task, result)
+        if self.journal is not None:
+            files = (extra or {}).get("files") if extra else None
+            self.journal.record_ok(task.id, result.value,
+                                   key=task.key, files=files)
+
+    def _finish_failed(self, task: Task, result: TaskResult) -> None:
+        if self.journal is not None and result.error is not None:
+            self.journal.record_failed(task.id, result.error)
+
+    def _check_journal(self, task: Task) -> Optional[TaskResult]:
+        """Verified journal replay (the resume skip path), or None."""
+        if self.journal is None:
+            return None
+        value = self.journal.replay(task.id, task.key)
+        if RunJournal.is_missing(value):
+            return None
+        return TaskResult(id=task.id, value=value, source="journal")
 
     # -- shared helpers ------------------------------------------------
     def _effective_retries(self, task: Task) -> int:
@@ -293,22 +387,35 @@ class ExecutionEngine:
     def _run_serial(self, order: Sequence[Task],
                     results: Dict[str, TaskResult]) -> None:
         for task in order:
+            if self._stop_requested():
+                self._interrupt(order, results)
             if not self._deps_ok(task, results):
+                continue
+            replayed = self._check_journal(task)
+            if replayed is not None:
+                results[task.id] = replayed
                 continue
             cached = self._check_cache(task)
             if cached is not None:
                 results[task.id] = cached
+                self._finish_ok(task, cached)
                 continue
             result = self._run_one_serial(task)
             if result.ok:
                 self._store_result(task, result.value)
+                self._finish_ok(task, result)
+            else:
+                self._finish_failed(task, result)
             results[task.id] = result
 
     # -- pool path -----------------------------------------------------
     def _make_pool(self):
         ctx = (multiprocessing.get_context(self._mp_context)
                if self._mp_context else multiprocessing.get_context())
-        return ctx.Pool(processes=self.max_workers)
+        # workers ignore SIGINT: a Ctrl-C lands on the whole process
+        # group, but the drain/abort decision belongs to the parent
+        return ctx.Pool(processes=self.max_workers,
+                        initializer=ignore_interrupts_in_worker)
 
     def _shutdown_pool(self) -> None:
         if self._pool is not None:
@@ -342,10 +449,17 @@ class ExecutionEngine:
         waiting: List[str] = [task.id for task in order]  # topo order
         running: List[str] = []
         degraded = False
+        draining = False
 
-        def finish(result: TaskResult) -> None:
+        def finish(result: TaskResult, task: Optional[Task] = None
+                   ) -> None:
             results[result.id] = result
             pending.pop(result.id, None)
+            if task is not None:
+                if result.ok:
+                    self._finish_ok(task, result)
+                else:
+                    self._finish_failed(task, result)
 
         def serial_fallback(p: _Pending) -> None:
             """Last resort after pool retries: one in-process run."""
@@ -364,7 +478,7 @@ class ExecutionEngine:
                         id=task.id, error=error, source="serial",
                         attempts=p.attempts + 1,
                         duration=time.perf_counter() - start,
-                    ))
+                    ), task)
                     return
             _COMPLETED.inc()
             self._store_result(task, value)
@@ -372,7 +486,7 @@ class ExecutionEngine:
                 id=task.id, value=value, source="serial",
                 attempts=p.attempts + 1,
                 duration=time.perf_counter() - start,
-            ))
+            ), task)
 
         def register_failure(p: _Pending,
                              error: BaseException) -> None:
@@ -422,33 +536,47 @@ class ExecutionEngine:
                 id=task.id, value=value, source="pool",
                 attempts=p.attempts,
                 duration=time.monotonic() - p.started,
-            ))
+            ), task)
 
         while pending:
             now = time.monotonic()
+            if not draining and self._stop_requested():
+                # graceful drain: stop launching, let in-flight pool
+                # jobs finish and be journaled, then raise resumable
+                draining = True
+            if draining and not running:
+                self._interrupt(order, results)
 
             if degraded:
                 # pool gone for good: drain the remainder serially, in
                 # dependency order (`order` is already a toposort)
                 for task in order:
+                    if self._stop_requested():
+                        self._interrupt(order, results)
                     p = pending.get(task.id)
                     if p is None or task.id in running:
                         continue
                     if not self._deps_ok(task, results):
                         pending.pop(task.id, None)
                         continue
+                    replayed = self._check_journal(task)
+                    if replayed is not None:
+                        finish(replayed)
+                        continue
                     cached = self._check_cache(task)
                     if cached is not None:
-                        finish(cached)
+                        finish(cached, task)
                         continue
                     result = self._run_one_serial(task)
                     if result.ok:
                         self._store_result(task, result.value)
-                    finish(result)
+                    finish(result, task)
                 break
 
             # promote ready tasks into the pool (bounded in-flight)
             for tid in list(waiting):
+                if draining:
+                    break
                 if len(running) >= 2 * self.max_workers:
                     break
                 p = pending.get(tid)
@@ -467,10 +595,15 @@ class ExecutionEngine:
                     waiting.remove(tid)
                     pending.pop(tid, None)
                     continue
+                replayed = self._check_journal(task)
+                if replayed is not None:
+                    waiting.remove(tid)
+                    finish(replayed)
+                    continue
                 cached = self._check_cache(task)
                 waiting.remove(tid)
                 if cached is not None:
-                    finish(cached)
+                    finish(cached, task)
                     continue
                 submit(p)
 

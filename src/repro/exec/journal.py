@@ -1,0 +1,235 @@
+"""Crash-safe run journal: append-only JSONL + payload snapshots.
+
+A long artifact run is a sequence of independent task completions; the
+journal makes that progress durable so a SIGINT/SIGTERM/OOM kill loses
+at most the task in flight:
+
+* ``<run-dir>/.runstate/journal.jsonl`` — one JSON object per event
+  (``begin``, ``ok``, ``failed``, ``skipped``), written as a single
+  ``write`` + flush + fsync so a crash can only truncate the *last*
+  line (tolerated on load, never corrupting earlier records);
+* ``<run-dir>/.runstate/payloads/<digest>.pkl`` — the task's returned
+  payload, published atomically (tmp + rename) and content-addressed
+  by its pickle digest.
+
+``ok`` records carry the task id, its content-store ``key`` (when the
+task had one), the payload digest, and the relative paths + SHA-256
+digests of any output files the parent wrote for that task.  On
+``--resume`` a task is skipped only when *everything* re-verifies: the
+journal line is present, each recorded output file re-hashes to its
+recorded digest, and the payload pickle re-hashes to its digest —
+otherwise the task simply runs again.  Every decision is counted in
+:mod:`repro.obs` (``resilience.journal.*``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import shutil
+from typing import Any, Dict, List, Mapping, Optional
+
+from .. import __version__, obs
+from ..errors import ReproIOError
+from ..ioutil import atomic_write_bytes, sha256_file
+
+__all__ = ["RunJournal", "STATE_DIRNAME"]
+
+#: run-state directory inside a run dir (excluded from output diffs)
+STATE_DIRNAME = ".runstate"
+
+_RECORDS = obs.counter("resilience.journal.records")
+_REPLAYED = obs.counter("resilience.journal.skipped")
+_VERIFY_FAILED = obs.counter("resilience.journal.verify_failed")
+_CHECKPOINTS = obs.counter("resilience.journal.checkpoints")
+
+#: sentinel: "this task has no verifiable journal entry"
+_MISSING = object()
+
+
+def _sha256_bytes(blob: bytes) -> str:
+    import hashlib
+
+    return hashlib.sha256(blob).hexdigest()
+
+
+class RunJournal:
+    """Append-only journal for one resumable run directory."""
+
+    def __init__(self, run_dir: str, *, resume: bool = False):
+        self.run_dir = run_dir
+        self.state_dir = os.path.join(run_dir, STATE_DIRNAME)
+        self.path = os.path.join(self.state_dir, "journal.jsonl")
+        self.payload_dir = os.path.join(self.state_dir, "payloads")
+        self._complete: Dict[str, Dict[str, Any]] = {}
+        self._skipped = 0
+        try:
+            if not resume and os.path.isdir(self.state_dir):
+                shutil.rmtree(self.state_dir)
+            os.makedirs(self.payload_dir, exist_ok=True)
+            if resume:
+                self._load()
+            self._handle = open(self.path, "a", encoding="utf-8")
+        except OSError as error:
+            raise ReproIOError(
+                f"cannot open run journal under {run_dir!r}: {error}",
+                hint="pass a writable run directory (--out), or drop "
+                     "--resume to start the run from scratch",
+            ) from error
+        self._append({"event": "begin", "version": __version__,
+                      "resume": bool(resume),
+                      "completed": len(self._complete)})
+
+    # -- properties ----------------------------------------------------
+    @property
+    def skipped(self) -> int:
+        """Tasks replayed (skipped) from the journal this run."""
+        return self._skipped
+
+    def completed_ids(self) -> List[str]:
+        """Task ids with a journaled-ok record (pre-verification)."""
+        return sorted(self._complete)
+
+    # -- load / verify -------------------------------------------------
+    def _load(self) -> None:
+        """Replay journal lines; a truncated trailing line is dropped."""
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    # a crash mid-append can truncate exactly one line;
+                    # everything before it is intact
+                    continue
+                if record.get("event") == "ok":
+                    self._complete[record["task"]] = record
+                elif record.get("event") == "failed":
+                    self._complete.pop(record.get("task"), None)
+
+    def replay(self, task_id: str,
+               key: Optional[str] = None) -> Any:
+        """Return the journaled payload for a verified-complete task.
+
+        Returns the :data:`_MISSING` sentinel (check with
+        :meth:`is_missing`) unless the record exists, its output files
+        re-hash to their recorded digests, and the payload pickle
+        re-hashes to its digest.  A successful replay appends a
+        ``skipped`` event so the journal itself shows what resume
+        skipped.
+        """
+        record = self._complete.get(task_id)
+        if record is None:
+            return _MISSING
+        if key is not None and record.get("key") not in (None, key):
+            # task definition changed since the journaled run
+            _VERIFY_FAILED.inc()
+            return _MISSING
+        for rel, digest in (record.get("files") or {}).items():
+            path = os.path.join(self.run_dir, rel)
+            try:
+                if sha256_file(path) != digest:
+                    _VERIFY_FAILED.inc()
+                    return _MISSING
+            except ReproIOError:
+                _VERIFY_FAILED.inc()
+                return _MISSING
+        digest = record.get("payload")
+        payload_path = os.path.join(self.payload_dir, digest + ".pkl")
+        try:
+            with open(payload_path, "rb") as handle:
+                blob = handle.read()
+            if _sha256_bytes(blob) != digest:
+                _VERIFY_FAILED.inc()
+                return _MISSING
+            value = pickle.loads(blob)
+        except Exception:
+            _VERIFY_FAILED.inc()
+            return _MISSING
+        self._skipped += 1
+        _REPLAYED.inc()
+        self._append({"event": "skipped", "task": task_id})
+        return value
+
+    @staticmethod
+    def is_missing(value: Any) -> bool:
+        return value is _MISSING
+
+    # -- recording -----------------------------------------------------
+    def record_ok(self, task_id: str, value: Any, *,
+                  key: Optional[str] = None,
+                  files: Optional[Mapping[str, str]] = None) -> None:
+        """Journal a completed task: snapshot payload, append record.
+
+        ``files`` maps run-dir-relative output paths to their SHA-256
+        digests (the artifact layer supplies them for the files it
+        wrote for this task).
+        """
+        try:
+            blob = pickle.dumps(value,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as error:
+            raise ReproIOError(
+                f"task {task_id!r} returned an unpicklable payload; "
+                f"the journal cannot snapshot it: {error}",
+            ) from error
+        digest = _sha256_bytes(blob)
+        atomic_write_bytes(
+            os.path.join(self.payload_dir, digest + ".pkl"), blob,
+        )
+        record = {"event": "ok", "task": task_id, "payload": digest}
+        if key is not None:
+            record["key"] = key
+        if files:
+            record["files"] = dict(files)
+        self._complete[task_id] = record
+        self._append(record)
+
+    def record_failed(self, task_id: str,
+                      error: BaseException) -> None:
+        """Journal a permanent failure (resume will retry the task)."""
+        self._complete.pop(task_id, None)
+        self._append({"event": "failed", "task": task_id,
+                      "error": type(error).__name__,
+                      "message": str(error)[:500]})
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        """One record = one write + flush + fsync (crash-safe append)."""
+        line = json.dumps(record, sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        self._handle.write(line)
+        self._handle.flush()
+        try:
+            os.fsync(self._handle.fileno())
+        except OSError:  # e.g. journal on a pipe in tests
+            pass
+        _RECORDS.inc()
+
+    # -- lifecycle -----------------------------------------------------
+    def checkpoint(self) -> None:
+        """Force the journal to stable storage (shutdown drain path)."""
+        self._handle.flush()
+        try:
+            os.fsync(self._handle.fileno())
+        except OSError:
+            pass
+        _CHECKPOINTS.inc()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self.checkpoint()
+            self._handle.close()
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RunJournal({self.run_dir!r}, {len(self._complete)} ok)"

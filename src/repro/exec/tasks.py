@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..errors import error_context
 from ..graph.serialize import structural_hash
 from ..models.registry import DOMAINS, build_symbolic
 from .store import content_key
@@ -66,23 +67,24 @@ def artifact_config(key: str, size: float) -> dict:
     from ..reports.common import si
     from ..reports.describe import describe_model
 
-    model = build_symbolic(key)
-    subbatch = DOMAINS[key].subbatch
-    report = describe_model(model, size=size, subbatch=subbatch)
+    with error_context(model=key, size=size):
+        model = build_symbolic(key)
+        subbatch = DOMAINS[key].subbatch
+        report = describe_model(model, size=size, subbatch=subbatch)
 
-    counts = StepCounts(model)
-    bindings = counts.bind(size, subbatch)
-    ct = counts.step_flops.evalf(bindings)
-    at = counts.step_bytes.evalf(bindings)
-    summary_row = [
-        DOMAINS[key].display,
-        f"{size:g}",
-        si(counts.params.evalf(bindings)),
-        si(ct) + "FLOP",
-        si(at) + "B",
-        f"{ct / at:.1f}",
-    ]
-    return {"report": report, "summary_row": summary_row}
+        counts = StepCounts(model)
+        bindings = counts.bind(size, subbatch)
+        ct = counts.step_flops.evalf(bindings)
+        at = counts.step_bytes.evalf(bindings)
+        summary_row = [
+            DOMAINS[key].display,
+            f"{size:g}",
+            si(counts.params.evalf(bindings)),
+            si(ct) + "FLOP",
+            si(at) + "B",
+            f"{ct / at:.1f}",
+        ]
+        return {"report": report, "summary_row": summary_row}
 
 
 def artifact_config_key(key: str, size: float) -> str:
@@ -107,9 +109,10 @@ def report_exhibit(name: str):
 
     # one span per table/figure, nested under the engine's task span
     # when running serially (worker-process spans stay in the worker)
-    with obs.span(f"report.{name}", "report"):
-        with obs.span("report.generate", "report", exhibit=name):
-            return ALL_REPORTS[name]()
+    with error_context(exhibit=name):
+        with obs.span(f"report.{name}", "report"):
+            with obs.span("report.generate", "report", exhibit=name):
+                return ALL_REPORTS[name]()
 
 
 def report_exhibit_key(name: str) -> str:
@@ -131,9 +134,11 @@ def sweep_shard(key: str, sizes: Tuple[float, ...], subbatch: int,
 
     from ..analysis.sweep import compute_sweep_rows
 
-    rows = compute_sweep_rows(key, list(sizes), subbatch,
-                              include_footprint=include_footprint,
-                              engine=engine)
+    with error_context(model=key, stage="sweep_shard",
+                       sizes=tuple(sizes)):
+        rows = compute_sweep_rows(key, list(sizes), subbatch,
+                                  include_footprint=include_footprint,
+                                  engine=engine)
     return [astuple(row) for row in rows]
 
 

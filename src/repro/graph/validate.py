@@ -13,20 +13,26 @@ from __future__ import annotations
 
 from typing import List
 
+from ..errors import ReproError
 from .graph import Graph
 
 __all__ = ["validate_graph", "GraphValidationError"]
 
 
-class GraphValidationError(ValueError):
-    """Raised when a graph fails structural validation."""
+class GraphValidationError(ReproError, ValueError):
+    """Raised when a graph fails structural validation (code E-GRAPH)."""
+
+    code = "E-GRAPH"
 
     def __init__(self, graph_name: str, problems: List[str]):
-        self.problems = problems
-        joined = "\n  - ".join(problems)
+        self.problems = list(problems)
+        joined = "\n  - ".join(self.problems)
         super().__init__(
-            f"graph {graph_name!r} failed validation:\n  - {joined}"
+            f"graph {graph_name!r} failed validation:\n  - {joined}",
+            hint="run `python -m repro.check` for the rule codes behind "
+                 "each finding",
         )
+        self.add_context(graph=graph_name)
 
 
 def validate_graph(graph: Graph, *, allow_unconsumed: bool = True) -> None:

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence
 
+from ..errors import BindingError, did_you_mean
 from .base import BuiltModel
 from .char_rhn import build_char_rhn
 from .nmt import build_nmt
@@ -90,9 +91,10 @@ def get_domain(key: str) -> DomainEntry:
     try:
         return DOMAINS[key]
     except KeyError:
-        raise KeyError(
-            f"unknown domain {key!r}; available: {sorted(DOMAINS)}"
-        )
+        raise BindingError(
+            f"unknown domain {key!r}; available: {sorted(DOMAINS)}",
+            hint=did_you_mean(str(key), DOMAINS),
+        ) from None
 
 
 _SYMBOLIC_CACHE: Dict[tuple, BuiltModel] = {}

@@ -108,10 +108,10 @@ def write_chrome_trace(path: str,
                        registry: Optional[_metrics.MetricsRegistry] = None
                        ) -> str:
     """Write :func:`chrome_trace` output to ``path``; returns the path."""
+    from ..ioutil import atomic_write_text
+
     payload = chrome_trace(span_list, registry)
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=1)
-        handle.write("\n")
+    atomic_write_text(path, json.dumps(payload, indent=1) + "\n")
     return path
 
 
@@ -137,9 +137,11 @@ def jsonl_events(span_list: Optional[Sequence[Span]] = None
 def write_jsonl(path: str,
                 span_list: Optional[Sequence[Span]] = None) -> str:
     """Write the JSONL event stream to ``path``; returns the path."""
-    with open(path, "w") as handle:
-        for line in jsonl_events(span_list):
-            handle.write(line + "\n")
+    from ..ioutil import atomic_write_text
+
+    atomic_write_text(
+        path, "".join(line + "\n" for line in jsonl_events(span_list))
+    )
     return path
 
 

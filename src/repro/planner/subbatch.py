@@ -26,6 +26,7 @@ import numpy as np
 
 from .. import obs
 from ..analysis.firstorder import FirstOrderModel
+from ..errors import error_context
 from ..hardware.accelerator import AcceleratorConfig
 from ..symbolic import bisect_increasing
 
@@ -159,7 +160,9 @@ def choose_subbatch(model: FirstOrderModel, params: float,
     """
     _CHOICES.inc()
     iters_before = _BISECT_ITERS.value
-    with obs.span("planner.choose_subbatch", "planner",
+    with error_context(model=model.domain, stage="choose_subbatch",
+                       params=params), \
+         obs.span("planner.choose_subbatch", "planner",
                   params=params) as span:
         curves = compile_curves(model, params, accel)
 

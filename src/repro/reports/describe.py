@@ -17,7 +17,7 @@ from ..analysis.footprint import estimate_footprint
 from ..hardware.accelerator import V100_LIKE, AcceleratorConfig
 from ..hardware.roofline import roofline_time
 from ..models.base import BuiltModel
-from ..models.registry import DOMAINS, build_symbolic
+from ..models.registry import build_symbolic, get_domain
 from ..runtime.profiler import profile_graph
 from .common import si
 
@@ -30,7 +30,7 @@ def describe_domain(key: str, *, size: Optional[float] = None,
                     subbatch: Optional[int] = None,
                     accel: AcceleratorConfig = V100_LIKE) -> str:
     """Describe one registry domain at a binding (defaults from registry)."""
-    entry = DOMAINS[key]
+    entry = get_domain(key)
     model = build_symbolic(key)
     if size is None:
         size = entry.sweep_sizes[len(entry.sweep_sizes) // 2]

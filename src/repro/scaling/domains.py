@@ -141,7 +141,10 @@ def get_scaling(key: str) -> DomainScaling:
     try:
         return SCALING_DOMAINS[key]
     except KeyError:
-        raise KeyError(
+        from ..errors import BindingError, did_you_mean
+
+        raise BindingError(
             f"unknown scaling domain {key!r}; "
-            f"available: {sorted(SCALING_DOMAINS)}"
-        )
+            f"available: {sorted(SCALING_DOMAINS)}",
+            hint=did_you_mean(str(key), SCALING_DOMAINS),
+        ) from None

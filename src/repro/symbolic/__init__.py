@@ -30,10 +30,12 @@ from .expr import (
     sqrt,
     symbols,
 )
-from .compile import CompiledExpr, compile_batch, compile_expr
+from .compile import (CompiledExpr, compile_batch, compile_expr,
+                      numeric_guard, numeric_policy, set_numeric_policy)
 from .poly import (asymptotic_ratio, coefficient, degree, degrees,
                    expand, leading_term, nonnegative)
-from .solve import bisect_increasing, evalf_fn, invert_power_law, power_law
+from .solve import (bisect_increasing, evalf_fn, expand_bracket,
+                    invert_power_law, power_law)
 
 __all__ = [
     "Expr",
@@ -60,8 +62,12 @@ __all__ = [
     "invert_power_law",
     "power_law",
     "bisect_increasing",
+    "expand_bracket",
     "evalf_fn",
     "CompiledExpr",
     "compile_expr",
     "compile_batch",
+    "numeric_guard",
+    "numeric_policy",
+    "set_numeric_policy",
 ]

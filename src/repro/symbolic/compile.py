@@ -30,10 +30,14 @@ may differ in the last place — consumers tolerate 1e-9 relative).
 from __future__ import annotations
 
 import math
+import numbers
+import warnings
+from contextlib import contextmanager
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..errors import BindingError, NumericError, did_you_mean
 from ..obs.metrics import counter as _obs_counter
 from ..obs.tracer import TRACER as _TRACER
 from .expr import (
@@ -50,7 +54,8 @@ from .expr import (
     Symbol,
 )
 
-__all__ = ["CompiledExpr", "compile_expr", "compile_batch"]
+__all__ = ["CompiledExpr", "compile_expr", "compile_batch",
+           "numeric_guard", "set_numeric_policy", "numeric_policy"]
 
 # Compile-time observability: tapes built, instructions emitted, and
 # instructions *avoided* by CSE (a slot lookup that found the subtree
@@ -59,6 +64,44 @@ __all__ = ["CompiledExpr", "compile_expr", "compile_batch"]
 _TAPES = _obs_counter("symbolic.compile.tapes")
 _INSTRUCTIONS = _obs_counter("symbolic.compile.instructions")
 _CSE_REUSED = _obs_counter("symbolic.compile.cse_reused")
+
+# Numeric sentinels: every tape replay checks its outputs for NaN/Inf
+# (overflowed ``h**2`` terms, 0/0 intensities, log of a non-positive
+# dimension).  The policy decides what a violation does.
+_GUARD_CHECKS = _obs_counter("guard.numeric.checks")
+_GUARD_VIOLATIONS = _obs_counter("guard.numeric.violations")
+
+#: 'raise' -> NumericError (E-NUMERIC), 'warn' -> RuntimeWarning and
+#: the value flows through, 'off' -> seed behaviour (no check)
+_NUMERIC_POLICY = "raise"
+
+
+def numeric_policy() -> str:
+    """The active NaN/Inf sentinel policy ('raise' | 'warn' | 'off')."""
+    return _NUMERIC_POLICY
+
+
+def set_numeric_policy(policy: str) -> str:
+    """Set the sentinel policy; returns the previous one."""
+    global _NUMERIC_POLICY
+    if policy not in ("raise", "warn", "off"):
+        raise ValueError(
+            f"unknown numeric policy {policy!r} "
+            "(expected 'raise', 'warn', or 'off')"
+        )
+    previous = _NUMERIC_POLICY
+    _NUMERIC_POLICY = policy
+    return previous
+
+
+@contextmanager
+def numeric_guard(policy: str):
+    """Scoped :func:`set_numeric_policy` (restores on exit)."""
+    previous = set_numeric_policy(policy)
+    try:
+        yield
+    finally:
+        set_numeric_policy(previous)
 
 # Tape opcodes.  Every instruction writes exactly one value; the slot of
 # instruction i is i, so the tape doubles as its own register file.
@@ -72,6 +115,46 @@ _MIN = 6     # payload: (slot, ...)
 _CEIL = 7    # payload: slot
 _FLOOR = 8   # payload: slot
 _LOG = 9     # payload: slot
+
+
+def _binding_float(name: str, value) -> float:
+    """Coerce one binding value, raising E-BIND on a bad dtype/value."""
+    if (isinstance(value, (bool, str, bytes)) or value is None
+            or not isinstance(value, numbers.Real)):
+        # strings are rejected even when float() would parse them: a
+        # str reaching a tape means a CLI/config layer forgot to parse
+        raise BindingError(
+            f"binding for {name!r} must be a real number, got "
+            f"{type(value).__name__} {value!r}",
+            hint="bind symbols to ints/floats (dimensions, sizes, "
+                 "subbatches), not strings or flags",
+        )
+    try:
+        result = float(value)
+    except (TypeError, ValueError, OverflowError) as error:
+        raise BindingError(
+            f"binding for {name!r} must be a real number, got "
+            f"{type(value).__name__} {value!r}",
+        ) from error
+    if not math.isfinite(result):
+        raise BindingError(
+            f"binding for {name!r} must be finite, got {result!r}",
+        )
+    return result
+
+
+def _unbound_symbol(name: str, bindings: Mapping) -> BindingError:
+    """E-BIND for a missing symbol, with a did-you-mean over the keys
+    that *were* provided (a misspelled key leaves its target unbound)."""
+    provided = [
+        key.name if isinstance(key, Symbol) else str(key)
+        for key in bindings
+    ]
+    return BindingError(
+        f"unbound symbol {name!r} in evalf",
+        hint=did_you_mean(name, provided)
+        or f"bind {name!r} (provided: {sorted(provided) or 'nothing'})",
+    )
 
 
 def _child_exprs(expr: Expr) -> Tuple[Expr, ...]:
@@ -211,11 +294,11 @@ class CompiledExpr:
         vec: List[Optional[float]] = [None] * len(self.symbols)
         for i, sym in enumerate(self.symbols):
             if sym in bindings:
-                vec[i] = float(bindings[sym])
+                vec[i] = _binding_float(sym.name, bindings[sym])
             elif sym.name in bindings:
-                vec[i] = float(bindings[sym.name])
+                vec[i] = _binding_float(sym.name, bindings[sym.name])
             elif not partial:
-                raise ValueError(f"unbound symbol {sym.name!r} in evalf")
+                raise _unbound_symbol(sym.name, bindings)
         return vec
 
     def bind_matrix(self, rows) -> np.ndarray:
@@ -233,7 +316,7 @@ class CompiledExpr:
                 elif sym.name in rows:
                     col = np.asarray(rows[sym.name], dtype=float)
                 else:
-                    raise ValueError(f"unbound symbol {sym.name!r} in evalf")
+                    raise _unbound_symbol(sym.name, rows)
                 columns.append(np.atleast_1d(col))
             if not columns:
                 return np.zeros((1, 0))
@@ -255,6 +338,17 @@ class CompiledExpr:
     # -- evaluation ----------------------------------------------------
     def eval_vector(self, vec: Sequence[Optional[float]]):
         """Replay the tape at one already-resolved input vector."""
+        try:
+            return self._eval_vector(vec)
+        except (OverflowError, ZeroDivisionError) as error:
+            # python-float arithmetic raises instead of producing
+            # inf/nan, so the post-replay finiteness check never sees
+            # the value; fold the hard failure into the same guard
+            if _NUMERIC_POLICY == "off":
+                raise
+            self._replay_failure(error, vec)
+
+    def _eval_vector(self, vec: Sequence[Optional[float]]):
         vals: List[float] = [0.0] * len(self.code)
         for i, (opcode, payload) in enumerate(self.code):
             if opcode == _ADD:
@@ -270,9 +364,11 @@ class CompiledExpr:
             elif opcode == _SYM:
                 v = vec[payload]
                 if v is None:
-                    raise ValueError(
+                    raise BindingError(
                         f"unbound symbol {self.symbols[payload].name!r} "
-                        "in evalf"
+                        "in evalf",
+                        hint="fill every slot of a partial bind_vector "
+                             "before replaying the tape",
                     )
             elif opcode == _CONST:
                 v = payload
@@ -289,9 +385,62 @@ class CompiledExpr:
             else:  # _LOG
                 v = math.log(vals[payload])
             vals[i] = v
+        if _NUMERIC_POLICY != "off":
+            _GUARD_CHECKS.inc()
+            for j, slot in enumerate(self.out_slots):
+                if not math.isfinite(vals[slot]):
+                    self._numeric_violation(vals[slot], j, vec)
+                    break
         if self._single:
             return vals[self.out_slots[0]]
         return [vals[s] for s in self.out_slots]
+
+    def _numeric_violation(self, value, out_index: int, vec) -> None:
+        """Apply the sentinel policy to one non-finite output."""
+        _GUARD_VIOLATIONS.inc()
+        kind = "NaN" if (isinstance(value, float)
+                         and math.isnan(value)) else "overflow/Inf"
+        inputs = ", ".join(
+            f"{sym.name}={vec[i]:g}"
+            for i, sym in enumerate(self.symbols)
+            if vec[i] is not None
+        ) or "(no inputs)"
+        message = (
+            f"tape replay produced a non-finite value ({kind}) for "
+            f"output {out_index + 1} of {len(self.out_slots)}; "
+            f"inputs: {inputs}"
+        )
+        if _NUMERIC_POLICY == "warn":
+            warnings.warn(message, RuntimeWarning, stacklevel=3)
+            return
+        raise NumericError(
+            message,
+            hint="the bindings push an aggregate past the float "
+                 "range (or into 0/0); shrink the sweep sizes, or "
+                 "evaluate under numeric_guard('warn') to inspect "
+                 "the non-finite series",
+        )
+
+    def _replay_failure(self, error: BaseException, vec) -> None:
+        """A replay instruction raised outright (scalar overflow, 0/0).
+
+        Unlike a non-finite *output*, there is no value to return, so
+        even the ``warn`` policy must raise — but as E-NUMERIC with the
+        bound inputs named, not a bare ``OverflowError`` from the
+        middle of a tape.
+        """
+        _GUARD_VIOLATIONS.inc()
+        inputs = ", ".join(
+            f"{sym.name}={vec[i]:g}"
+            for i, sym in enumerate(self.symbols)
+            if vec[i] is not None
+        ) or "(no inputs)"
+        raise NumericError(
+            f"tape replay overflowed the float range "
+            f"({type(error).__name__}: {error}); inputs: {inputs}",
+            hint="the bindings push an intermediate past ~1e308; "
+                 "shrink the sweep sizes",
+        ) from error
 
     def __call__(self, bindings: Optional[Mapping] = None):
         return self.eval_vector(self.bind_vector(bindings))
@@ -299,6 +448,14 @@ class CompiledExpr:
     def eval_many(self, rows) -> np.ndarray:
         """Vectorized replay over N bindings (see :meth:`bind_matrix`)."""
         mat = self.bind_matrix(rows)
+        # numpy warns-and-continues on overflow; the post-replay
+        # finiteness guard is the single reporting point, so keep
+        # numpy quiet here
+        with np.errstate(over="ignore", invalid="ignore",
+                         divide="ignore"):
+            return self._eval_many(mat)
+
+    def _eval_many(self, mat: np.ndarray) -> np.ndarray:
         n = mat.shape[0]
         vals: List[object] = [None] * len(self.code)
         for i, (opcode, payload) in enumerate(self.code):
@@ -337,6 +494,15 @@ class CompiledExpr:
         out = np.empty((n, len(self.out_slots)), dtype=float)
         for j, slot in enumerate(self.out_slots):
             out[:, j] = vals[slot]
+        if _NUMERIC_POLICY != "off":
+            _GUARD_CHECKS.inc()
+            finite = np.isfinite(out)
+            if not finite.all():
+                rows, cols = np.nonzero(~finite)
+                r, j = int(rows[0]), int(cols[0])
+                self._numeric_violation(
+                    float(out[r, j]), j, list(mat[r, :])
+                )
         if self._single:
             return out[:, 0]
         return out

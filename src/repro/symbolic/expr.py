@@ -259,8 +259,15 @@ class Symbol(Expr):
         try:
             return float(bindings[self])
         except (KeyError, TypeError):
-            raise ValueError(
-                f"unbound symbol {self.name!r} in evalf"
+            from ..errors import BindingError, did_you_mean
+
+            provided = [
+                key.name if isinstance(key, Symbol) else str(key)
+                for key in (bindings or ())
+            ]
+            raise BindingError(
+                f"unbound symbol {self.name!r} in evalf",
+                hint=did_you_mean(self.name, provided),
             ) from None
 
     def sort_key(self) -> tuple:

@@ -14,12 +14,14 @@ import math
 import sys
 from typing import Callable, Mapping
 
+from ..errors import SolveError
 from ..obs.metrics import counter as _obs_counter
 from ..obs.metrics import histogram as _obs_histogram
 from .compile import compile_expr
 from .expr import Expr, Symbol
 
-__all__ = ["invert_power_law", "power_law", "bisect_increasing", "evalf_fn"]
+__all__ = ["invert_power_law", "power_law", "bisect_increasing",
+           "expand_bracket", "evalf_fn"]
 
 # Root-finding observability: the planner's subbatch choices each run
 # several bisections; the histogram answers "how many probes does a
@@ -27,12 +29,18 @@ __all__ = ["invert_power_law", "power_law", "bisect_increasing", "evalf_fn"]
 _BISECT_CALLS = _obs_counter("symbolic.bisect.calls")
 _BISECT_ITERS = _obs_counter("symbolic.bisect.iterations")
 _BISECT_HIST = _obs_histogram("symbolic.bisect.iterations_per_call")
+_EXPANSIONS = _obs_counter("symbolic.bisect.bracket_expansions")
+_GUARD_NONFINITE = _obs_counter("guard.numeric.solver_nonfinite")
 
 
 def power_law(scale: float, exponent: float, x: float) -> float:
     """Evaluate ``scale * x**exponent``."""
     if x <= 0:
-        raise ValueError(f"power law argument must be positive, got {x}")
+        raise SolveError(
+            f"power law argument must be positive, got {x}",
+            hint="model sizes / dataset sizes enter power laws as "
+                 "positive reals",
+        )
     return scale * x**exponent
 
 
@@ -41,19 +49,27 @@ def invert_power_law(scale: float, exponent: float, target: float) -> float:
 
     Works for negative exponents (learning curves, β ∈ [−0.5, 0)) and
     positive exponents (model-size curves, β ∈ [0.5, 1)).  Raises a
-    clear ``ValueError`` when the solution exceeds the float range —
-    e.g. asking a nearly-flat learning curve (β ≈ 0) for a large error
-    reduction can demand more samples than 10^308.
+    clear :class:`~repro.errors.SolveError` (also a ``ValueError``)
+    when the solution exceeds the float range — e.g. asking a
+    nearly-flat learning curve (β ≈ 0) for a large error reduction can
+    demand more samples than 10^308.
     """
     if scale <= 0 or target <= 0:
-        raise ValueError("power-law inversion needs positive scale and target")
+        raise SolveError(
+            "power-law inversion needs positive scale and target",
+            diagnostics={"scale": scale, "target": target},
+        )
     if exponent == 0:
-        raise ValueError("cannot invert a constant power law (exponent 0)")
+        raise SolveError("cannot invert a constant power law (exponent 0)")
     log_x = math.log(target / scale) / exponent
     if log_x > math.log(sys.float_info.max):
-        raise ValueError(
+        raise SolveError(
             f"power-law solution exp({log_x:.1f}) exceeds the float "
-            "range; the target is unreachable at this exponent"
+            "range; the target is unreachable at this exponent",
+            diagnostics={"log_x": round(log_x, 1),
+                         "exponent": exponent, "target": target},
+            hint="pick a less aggressive accuracy target or a steeper "
+                 "learning-curve exponent",
         )
     return math.exp(log_x)
 
@@ -88,29 +104,132 @@ def evalf_fn(expr: Expr, sym: Symbol,
     return fn
 
 
+def _checked(fn: Callable[[float], float], x: float) -> float:
+    """Probe ``fn`` and guard the result against NaN (E-SOLVE)."""
+    value = float(fn(x))
+    if math.isnan(value):
+        _GUARD_NONFINITE.inc()
+        raise SolveError(
+            f"objective returned NaN at x={x:g}; the bracket leaves "
+            "the function's domain",
+            diagnostics={"x": x},
+            hint="shrink the bracket to the region where the curve is "
+                 "defined, or check the bindings feeding it",
+        )
+    return value
+
+
+def expand_bracket(fn: Callable[[float], float], target: float,
+                   lo: float, hi: float, *, factor: float = 2.0,
+                   max_expansions: int = 60):
+    """Grow ``[lo, hi]`` geometrically until it brackets ``target``.
+
+    ``fn`` must be nondecreasing.  ``hi`` doubles while
+    ``fn(hi) < target``; ``lo`` halves toward 0 (these solvers operate
+    on positive axes — subbatch sizes, model sizes) while
+    ``fn(lo) > target``.  Returns the bracketing ``(lo, hi)``; raises
+    :class:`~repro.errors.SolveError` with convergence diagnostics
+    when the expansion budget runs out (an unreachable target).
+    """
+    expansions = 0
+    flo, fhi = _checked(fn, lo), _checked(fn, hi)
+    while fhi < target and expansions < max_expansions:
+        expansions += 1
+        _EXPANSIONS.inc()
+        hi *= factor
+        if not math.isfinite(hi):
+            break
+        fhi = _checked(fn, hi)
+    while flo > target and expansions < max_expansions:
+        expansions += 1
+        _EXPANSIONS.inc()
+        lo /= factor
+        if lo == 0.0:
+            break
+        flo = _checked(fn, lo)
+    if flo > target or fhi < target:
+        raise SolveError(
+            f"cannot bracket target {target:g}: after {expansions} "
+            f"expansion(s) f({lo:g})={flo:g}, f({hi:g})={fhi:g}",
+            diagnostics={"target": target, "lo": lo, "hi": hi,
+                         "f_lo": flo, "f_hi": fhi,
+                         "expansions": expansions},
+            hint="the target lies outside the function's range — it "
+                 "saturates before reaching it; lower the target or "
+                 "check the curve's coefficients",
+        )
+    return lo, hi
+
+
 def bisect_increasing(fn: Callable[[float], float], target: float,
                       lo: float, hi: float, *, tol: float = 1e-9,
-                      max_iter: int = 200) -> float:
+                      max_iter: int = 200,
+                      bracket: str = "clamp") -> float:
     """Find x in [lo, hi] with fn(x) == target for nondecreasing ``fn``.
 
-    Returns ``hi`` if even ``fn(hi) < target`` (saturated), and ``lo``
-    if ``fn(lo) > target`` already.  Used e.g. to find the subbatch size
-    where operational intensity crosses the accelerator ridge point.
+    ``bracket`` selects what happens when the target falls outside
+    ``[fn(lo), fn(hi)]``:
+
+    * ``"clamp"`` (default, the seed semantics) — return ``hi`` when
+      even ``fn(hi) < target`` (saturated) and ``lo`` when
+      ``fn(lo) > target`` already;
+    * ``"expand"`` — grow the bracket geometrically
+      (:func:`expand_bracket`) until it straddles the target, raising
+      :class:`~repro.errors.SolveError` (code E-SOLVE) with expansion
+      diagnostics when the target is unreachable;
+    * ``"strict"`` — raise E-SOLVE immediately on a non-bracketing
+      interval.
+
+    In ``expand``/``strict`` mode a bisection that exhausts
+    ``max_iter`` without meeting ``tol`` also raises E-SOLVE with
+    convergence diagnostics; ``clamp`` keeps the seed's
+    return-the-midpoint behaviour.  NaN probes raise E-SOLVE in every
+    mode.  Used e.g. to find the subbatch size where operational
+    intensity crosses the accelerator ridge point.
     """
+    if bracket not in ("clamp", "expand", "strict"):
+        raise ValueError(f"unknown bracket mode {bracket!r}")
+    if not (math.isfinite(lo) and math.isfinite(hi)
+            and math.isfinite(target)):
+        raise SolveError(
+            f"bracket/target must be finite, got [{lo}, {hi}] -> "
+            f"{target}",
+            diagnostics={"lo": lo, "hi": hi, "target": target},
+        )
     if lo > hi:
-        raise ValueError(f"empty bracket [{lo}, {hi}]")
+        raise SolveError(
+            f"empty bracket [{lo}, {hi}]",
+            hint="pass lo <= hi (the bracket endpoints are swapped?)",
+        )
     _BISECT_CALLS.inc()
     iterations = 0
     try:
-        flo, fhi = fn(lo), fn(hi)
+        flo, fhi = _checked(fn, lo), _checked(fn, hi)
+        if bracket == "expand" and (flo > target or fhi < target):
+            lo, hi = expand_bracket(fn, target, lo, hi)
+            flo, fhi = _checked(fn, lo), _checked(fn, hi)
         if flo >= target:
+            if bracket == "strict" and flo > target:
+                raise SolveError(
+                    f"target {target:g} below bracket: "
+                    f"f({lo:g})={flo:g}",
+                    diagnostics={"target": target, "lo": lo,
+                                 "f_lo": flo},
+                )
             return lo
         if fhi <= target:
+            if bracket == "strict" and fhi < target:
+                raise SolveError(
+                    f"target {target:g} above bracket: "
+                    f"f({hi:g})={fhi:g}",
+                    diagnostics={"target": target, "hi": hi,
+                                 "f_hi": fhi},
+                )
             return hi
         for _ in range(max_iter):
             iterations += 1
             mid = 0.5 * (lo + hi)
-            fmid = fn(mid)
+            fmid = _checked(fn, mid)
             if math.isclose(fmid, target, rel_tol=tol, abs_tol=tol):
                 return mid
             if fmid < target:
@@ -119,6 +238,18 @@ def bisect_increasing(fn: Callable[[float], float], target: float,
                 hi = mid
             if hi - lo <= tol * max(1.0, abs(hi)):
                 break
+        else:
+            if bracket != "clamp":
+                raise SolveError(
+                    f"bisection did not converge to rel/abs tol "
+                    f"{tol:g} in {max_iter} iterations",
+                    diagnostics={"iterations": max_iter, "lo": lo,
+                                 "hi": hi, "width": hi - lo,
+                                 "target": target},
+                    hint="loosen tol or raise max_iter; a "
+                         "discontinuous or non-monotone objective "
+                         "also produces this",
+                )
         return 0.5 * (lo + hi)
     finally:
         _BISECT_ITERS.inc(iterations)

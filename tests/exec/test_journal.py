@@ -1,0 +1,134 @@
+"""Tests for the crash-safe run journal (repro.exec.journal)."""
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.errors import ReproIOError
+from repro.exec.journal import STATE_DIRNAME, RunJournal
+from repro.ioutil import atomic_write_bytes
+
+
+def _journal_lines(run_dir):
+    path = os.path.join(run_dir, STATE_DIRNAME, "journal.jsonl")
+    with open(path) as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+def _write_output(run_dir, rel, blob):
+    atomic_write_bytes(os.path.join(run_dir, rel), blob)
+    return {rel: hashlib.sha256(blob).hexdigest()}
+
+
+class TestRecordReplay:
+    def test_round_trip(self, tmp_path):
+        run = str(tmp_path)
+        with RunJournal(run) as journal:
+            journal.record_ok("t1", {"rows": [1, 2]}, key="k1")
+        with RunJournal(run, resume=True) as journal:
+            assert journal.completed_ids() == ["t1"]
+            value = journal.replay("t1", "k1")
+            assert not RunJournal.is_missing(value)
+            assert value == {"rows": [1, 2]}
+            assert journal.skipped == 1
+        events = [r["event"] for r in _journal_lines(run)]
+        assert events == ["begin", "ok", "begin", "skipped"]
+
+    def test_unknown_task_is_missing(self, tmp_path):
+        with RunJournal(str(tmp_path)) as journal:
+            assert RunJournal.is_missing(journal.replay("absent"))
+
+    def test_fresh_run_wipes_previous_state(self, tmp_path):
+        run = str(tmp_path)
+        with RunJournal(run) as journal:
+            journal.record_ok("t1", 1)
+        with RunJournal(run) as journal:  # resume=False
+            assert journal.completed_ids() == []
+
+    def test_key_mismatch_reruns_task(self, tmp_path):
+        run = str(tmp_path)
+        with RunJournal(run) as journal:
+            journal.record_ok("t1", 1, key="old-key")
+        with RunJournal(run, resume=True) as journal:
+            assert RunJournal.is_missing(journal.replay("t1",
+                                                        "new-key"))
+
+    def test_failed_record_clears_completion(self, tmp_path):
+        run = str(tmp_path)
+        with RunJournal(run) as journal:
+            journal.record_ok("t1", 1)
+            journal.record_failed("t1", RuntimeError("flaky"))
+        with RunJournal(run, resume=True) as journal:
+            assert RunJournal.is_missing(journal.replay("t1"))
+
+
+class TestVerification:
+    def test_tampered_output_file_fails_verify(self, tmp_path):
+        run = str(tmp_path)
+        with RunJournal(run) as journal:
+            files = _write_output(run, "out.txt", b"table\n")
+            journal.record_ok("t1", "payload", files=files)
+        with open(os.path.join(run, "out.txt"), "w") as handle:
+            handle.write("tampered\n")
+        with RunJournal(run, resume=True) as journal:
+            assert RunJournal.is_missing(journal.replay("t1"))
+
+    def test_deleted_output_file_fails_verify(self, tmp_path):
+        run = str(tmp_path)
+        with RunJournal(run) as journal:
+            files = _write_output(run, "out.txt", b"table\n")
+            journal.record_ok("t1", "payload", files=files)
+        os.unlink(os.path.join(run, "out.txt"))
+        with RunJournal(run, resume=True) as journal:
+            assert RunJournal.is_missing(journal.replay("t1"))
+
+    def test_intact_output_file_verifies(self, tmp_path):
+        run = str(tmp_path)
+        with RunJournal(run) as journal:
+            files = _write_output(run, "out.txt", b"table\n")
+            journal.record_ok("t1", "payload", files=files)
+        with RunJournal(run, resume=True) as journal:
+            assert journal.replay("t1") == "payload"
+
+    def test_corrupt_payload_pickle_fails_verify(self, tmp_path):
+        run = str(tmp_path)
+        with RunJournal(run) as journal:
+            journal.record_ok("t1", {"x": 1})
+            payload_dir = journal.payload_dir
+        (name,) = os.listdir(payload_dir)
+        with open(os.path.join(payload_dir, name), "wb") as handle:
+            handle.write(b"garbage")
+        with RunJournal(run, resume=True) as journal:
+            assert RunJournal.is_missing(journal.replay("t1"))
+
+
+class TestCrashSafety:
+    def test_truncated_trailing_line_is_tolerated(self, tmp_path):
+        run = str(tmp_path)
+        with RunJournal(run) as journal:
+            journal.record_ok("t1", 1)
+            journal.record_ok("t2", 2)
+            path = journal.path
+        # simulate a crash mid-append: chop the last record in half
+        with open(path, "r+", encoding="utf-8") as handle:
+            text = handle.read()
+            handle.seek(0)
+            handle.truncate()
+            handle.write(text[: len(text) - len(text.splitlines()[-1])
+                              // 2 - 1])
+        with RunJournal(run, resume=True) as journal:
+            assert journal.replay("t1") == 1
+            assert RunJournal.is_missing(journal.replay("t2"))
+
+    def test_unpicklable_payload_raises_e_io(self, tmp_path):
+        with RunJournal(str(tmp_path)) as journal:
+            with pytest.raises(ReproIOError):
+                journal.record_ok("t1", lambda: 0)
+
+    def test_unwritable_run_dir_raises_e_io(self, tmp_path):
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file, not a directory")
+        with pytest.raises(ReproIOError):
+            RunJournal(str(blocked))

@@ -71,6 +71,23 @@ class TestResultStore:
         assert store.get(key, "default") == "default"
         assert not os.path.exists(path)  # poisoned entry removed
 
+    def test_hit_touches_mtime_so_lru_keeps_hot_entries(self, tmp_path):
+        # regression: without the utime-on-hit touch, a frequently-read
+        # entry keeps its creation mtime and is evicted as "oldest"
+        store = ResultStore(str(tmp_path / "hot"), max_entries=2)
+        keys = [content_key("hot", i) for i in range(3)]
+        store.put(keys[0], 0)
+        os.utime(store._path(keys[0]), (1000, 1000))
+        store.put(keys[1], 1)
+        os.utime(store._path(keys[1]), (2000, 2000))
+        assert store.get(keys[0]) == 0  # hit must refresh keys[0]
+        assert os.path.getmtime(store._path(keys[0])) > 2000
+        store.put(keys[2], 2)
+        store._evict()
+        assert store.contains(keys[0])      # hot entry survives
+        assert not store.contains(keys[1])  # cold entry evicted
+        assert store.contains(keys[2])
+
     def test_eviction_drops_oldest(self, tmp_path):
         store = ResultStore(str(tmp_path / "small"), max_entries=2)
         keys = [content_key("evict", i) for i in range(4)]
