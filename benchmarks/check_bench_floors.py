@@ -1,0 +1,66 @@
+"""Benchmark-regression gate: recorded speedups vs committed floors.
+
+Reads the freshly recorded ``BENCH_compile_eval.json`` (repo root)
+and the committed ``benchmarks/BENCH_floors.json``, and fails (exit 1)
+if any recorded speedup column falls below its floor.  The floors file
+is the ratchet: raise a floor when an engine gets faster, never lower
+one to make CI pass — a floor violation means an evaluation engine
+regressed.
+
+Run:  python benchmarks/check_bench_floors.py
+      (after ``pytest benchmarks/bench_compile_eval.py``)
+"""
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RECORDED = REPO_ROOT / "BENCH_compile_eval.json"
+FLOORS = Path(__file__).resolve().parent / "BENCH_floors.json"
+
+
+def main() -> int:
+    recorded = json.loads(RECORDED.read_text())
+    floors = json.loads(FLOORS.read_text())
+
+    failures = []
+    checked = 0
+    for section, domains in floors.items():
+        if section.startswith("_"):
+            continue
+        for domain, columns in domains.items():
+            stats = recorded.get(section, {}).get(domain)
+            if stats is None:
+                failures.append(
+                    f"{section}.{domain}: missing from {RECORDED.name}"
+                )
+                continue
+            for column, floor in columns.items():
+                got = stats.get(column)
+                checked += 1
+                if got is None:
+                    failures.append(
+                        f"{section}.{domain}.{column}: column not "
+                        f"recorded (floor {floor}x)"
+                    )
+                elif got < floor:
+                    failures.append(
+                        f"{section}.{domain}.{column}: {got}x is below "
+                        f"the committed floor {floor}x"
+                    )
+                else:
+                    print(f"ok  {section}.{domain}.{column}: "
+                          f"{got}x >= {floor}x")
+
+    if failures:
+        print(f"\n{len(failures)} floor violation(s):", file=sys.stderr)
+        for line in failures:
+            print(f"  FAIL  {line}", file=sys.stderr)
+        return 1
+    print(f"\nall {checked} recorded speedups at or above their floors")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

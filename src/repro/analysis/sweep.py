@@ -120,7 +120,9 @@ def sweep_domain(key: str, *, subbatch: Optional[int] = None,
     returns the master directly — mutation raises.
 
     ``engine="treewalk"`` selects the recursive-``evalf`` reference
-    path; both engines produce identical rows (tested to 1e-9).
+    path; ``engine="codegen"`` the fused source-codegen replay of the
+    same compiled tapes.  All engines produce identical rows (tested
+    to 1e-9; codegen sizes are bit-identical to compiled).
 
     ``shards=N`` evaluates the size series in N independent chunks and
     merges them (row-for-row identical to the unsharded sweep);
@@ -159,7 +161,7 @@ def compute_sweep_rows(key: str, sizes: Sequence[float],
     rows of the full sweep.  Used both by :func:`sweep_domain` and by
     :func:`repro.exec.tasks.sweep_shard` in pool workers.
     """
-    if engine not in ("compiled", "treewalk"):
+    if engine not in ("compiled", "treewalk", "codegen"):
         raise ValueError(f"unknown sweep engine {engine!r}")
     with error_context(model=key, stage="sweep", subbatch=subbatch):
         return _compute_sweep_rows(key, sizes, subbatch,
@@ -186,9 +188,9 @@ def _compute_sweep_rows(key: str, sizes: Sequence[float],
                                engine=engine).minimal_bytes
         )
 
-    if engine == "compiled":
+    if engine != "treewalk":
         with obs.span("sweep.aggregates", "sweep", domain=key):
-            series = counts.sweep_series(sizes, subbatch)
+            series = counts.sweep_series(sizes, subbatch, engine=engine)
         for i, size in enumerate(sizes):
             with obs.span("sweep.point", "sweep", domain=key,
                           size=size):

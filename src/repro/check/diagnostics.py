@@ -108,6 +108,11 @@ _RULE_DEFS = [
     Rule("T004", "tape-tree-divergence", ERROR,
          "the compiled tape disagrees with the expression tree walk "
          "at a randomized binding"),
+    Rule("T005", "malformed-fused-payload", ERROR,
+         "a fused instruction (power-product / fused multiply-add) "
+         "violates the immediate-form contract: coefficients and "
+         "exponents must be float immediates and factor lists "
+         "non-empty"),
 ]
 
 RULES: Dict[str, Rule] = {r.code: r for r in _RULE_DEFS}

@@ -38,38 +38,145 @@ __all__ = [
 ]
 
 
+class _GraphSkeleton:
+    """Int-indexed traversal structure of one graph (cached per graph).
+
+    The schedulers and the liveness replay are called once per sweep
+    point, but everything they need besides the concrete sizes —
+    producer counts, consumer edges, per-op input use counts — depends
+    only on the graph's wiring.  Resolving tensors and ops to dense
+    integer indices once takes the per-point cost down to plain list
+    arithmetic; every function below produces *identical* results to
+    its original mapping-based body (the reference oracles and
+    equivalence tests are unchanged).
+    """
+
+    __slots__ = (
+        "version", "name", "ops", "tensors", "op_index",
+        "pending0", "edge_consumers", "consumer_counts",
+        "out_grow", "out_live", "greedy_uses", "holders", "live_uses",
+        "persistent_idx", "topo",
+    )
+
+    def __init__(self, graph: Graph):
+        ops = tuple(graph.ops)
+        tensors = tuple(graph.tensors.values())
+        self.version = (len(ops), len(tensors))
+        self.name = graph.name
+        self.ops = ops
+        self.tensors = tensors
+        tensor_index = {t: i for i, t in enumerate(tensors)}
+        self.op_index = {op: i for i, op in enumerate(ops)}
+
+        self.pending0 = [
+            len({t.producer for t in op.inputs if t.producer is not None})
+            for op in ops
+        ]
+        self.edge_consumers = [
+            tuple(self.op_index[c]
+                  for out in op.outputs for c in out.consumers)
+            for op in ops
+        ]
+        self.consumer_counts = [len(t.consumers) for t in tensors]
+        # output occurrence lists: greedy charges everything
+        # non-persistent; liveness additionally skips graph inputs
+        self.out_grow = [
+            tuple(tensor_index[t] for t in op.outputs
+                  if not t.is_persistent)
+            for op in ops
+        ]
+        self.out_live = [
+            tuple(tensor_index[t] for t in op.outputs
+                  if not (t.is_persistent or t.producer is None))
+            for op in ops
+        ]
+        # greedy input uses: occurrences of each distinct non-persistent
+        # input tensor (greedy counts graph inputs; liveness does not,
+        # and counts via the consumer lists — preserve both exactly)
+        self.greedy_uses = []
+        holders: Dict[int, List[Tuple[int, int]]] = {}
+        for i, op in enumerate(ops):
+            counts: Dict[int, int] = {}
+            for t in op.inputs:
+                if not t.is_persistent:
+                    ti = tensor_index[t]
+                    counts[ti] = counts.get(ti, 0) + 1
+            items = tuple(counts.items())
+            self.greedy_uses.append(items)
+            for ti, c in items:
+                holders.setdefault(ti, []).append((i, c))
+        self.holders = {ti: tuple(v) for ti, v in holders.items()}
+        self.live_uses = []
+        for op in ops:
+            seen: Dict[int, int] = {}
+            for t in op.inputs:
+                if t.is_persistent or t.producer is None:
+                    continue
+                ti = tensor_index[t]
+                if ti not in seen:
+                    seen[ti] = sum(1 for c in t.consumers if c is op)
+            self.live_uses.append(tuple(seen.items()))
+        self.persistent_idx = tuple(
+            i for i, t in enumerate(tensors)
+            if t.is_persistent or t.producer is None
+        )
+        self.topo: Optional[List[Op]] = None
+
+
+_SKELETONS: "weakref.WeakKeyDictionary[Graph, _GraphSkeleton]" = (
+    weakref.WeakKeyDictionary()
+)
+_SKEL_HIT = _obs_counter("graph.skeleton.cache.hit")
+_SKEL_MISS = _obs_counter("graph.skeleton.cache.miss")
+
+
+def _skeleton(graph: Graph) -> _GraphSkeleton:
+    cached = _SKELETONS.get(graph)
+    if (cached is None
+            or cached.version != (len(graph.ops), len(graph.tensors))):
+        _SKEL_MISS.inc()
+        cached = _GraphSkeleton(graph)
+        _SKELETONS[graph] = cached
+    else:
+        _SKEL_HIT.inc()
+    return cached
+
+
+def _size_array(sk: _GraphSkeleton, sizes: Mapping[Tensor, int]) -> List[int]:
+    """Sizes resolved to the skeleton's tensor indexing (one dict pass)."""
+    return [sizes[t] for t in sk.tensors]
+
+
 def topological_order(graph: Graph) -> List[Op]:
     """Kahn's algorithm; among ready ops, preserves insertion order.
 
     Raises ``ValueError`` if the graph has a cycle (malformed
-    construction) — every valid compute graph is a DAG.
+    construction) — every valid compute graph is a DAG.  The order is
+    a pure function of the graph's wiring, so it is computed once per
+    graph and a copy returned on later calls.
     """
-    pending: Dict[Op, int] = {}
-    ready: List[int] = []
-    op_index = {op: i for i, op in enumerate(graph.ops)}
-
-    for op in graph.ops:
-        # an op waits for each distinct producing op among its inputs
-        producers = {t.producer for t in op.inputs if t.producer is not None}
-        pending[op] = len(producers)
-        if pending[op] == 0:
-            heapq.heappush(ready, op_index[op])
-
-    order: List[Op] = []
-    while ready:
-        op = graph.ops[heapq.heappop(ready)]
-        order.append(op)
-        for out in op.outputs:
-            for consumer in out.consumers:
-                pending[consumer] -= 1
-                if pending[consumer] == 0:
-                    heapq.heappush(ready, op_index[consumer])
-    if len(order) != len(graph.ops):
-        raise ValueError(
-            f"graph {graph.name} has a cycle "
-            f"({len(graph.ops) - len(order)} ops unreachable)"
-        )
-    return order
+    sk = _skeleton(graph)
+    if sk.topo is None:
+        pending = list(sk.pending0)
+        ready: List[int] = []
+        for i, p in enumerate(pending):
+            if p == 0:
+                heapq.heappush(ready, i)
+        order: List[Op] = []
+        while ready:
+            i = heapq.heappop(ready)
+            order.append(sk.ops[i])
+            for j in sk.edge_consumers[i]:
+                pending[j] -= 1
+                if pending[j] == 0:
+                    heapq.heappush(ready, j)
+        if len(order) != len(sk.ops):
+            raise ValueError(
+                f"graph {sk.name} has a cycle "
+                f"({len(sk.ops) - len(order)} ops unreachable)"
+            )
+        sk.topo = order
+    return list(sk.topo)
 
 
 #: graph -> (tensor count at compile time, tensor tuple, compiled batch)
@@ -112,13 +219,22 @@ def size_program(graph: Graph) -> Tuple[Tuple[Tensor, ...], CompiledExpr]:
 
 
 def evaluate_sizes(graph: Graph,
-                   bindings: Optional[Mapping] = None) -> Dict[Tensor, int]:
+                   bindings: Optional[Mapping] = None, *,
+                   engine: str = "compiled") -> Dict[Tensor, int]:
     """Concrete byte size per tensor under the given symbol bindings.
 
     Evaluates the cached batch-compiled size program — one tape replay
     for the whole graph, identical floats to the per-tensor tree walk.
+    ``engine="codegen"`` replays the fused source-codegen form of the
+    same program (bit-identical scalar results, no dispatch loop); the
+    generated function is cached on the program, so the lowering cost
+    is paid once per graph.
     """
+    if engine not in ("compiled", "codegen"):
+        raise ValueError(f"unknown size-program engine {engine!r}")
     tensors, program = size_program(graph)
+    if engine == "codegen":
+        program = program.codegen()
     values = program(bindings)
     return {t: int(round(v)) for t, v in zip(tensors, values)}
 
@@ -176,41 +292,22 @@ def memory_greedy_order(graph: Graph,
     O(V·ready·degree) to O((V + E) log V) while producing the *same*
     order as the reference scan (verified by tests).
     """
-    ops = graph.ops
-    n = len(ops)
-    op_index = {op: i for i, op in enumerate(ops)}
+    sk = _skeleton(graph)
+    size_arr = _size_array(sk, sizes)
+    n = len(sk.ops)
+    uses = sk.greedy_uses
+    holders = sk.holders
 
-    # Distinct non-persistent inputs per op, with use counts; and the
-    # inverse map: per tensor, the consumers holding uses of it.
-    uses: List[List[Tuple[Tensor, int]]] = []
-    holders: Dict[Tensor, List[Tuple[int, int]]] = {}
-    for i, op in enumerate(ops):
-        counts: Dict[Tensor, int] = {}
-        for t in op.inputs:
-            if not t.is_persistent:
-                counts[t] = counts.get(t, 0) + 1
-        items = list(counts.items())
-        uses.append(items)
-        for t, c in items:
-            holders.setdefault(t, []).append((i, c))
-
-    remaining = _consumer_counts(graph)
-    grow = [
-        sum(sizes[t] for t in op.outputs if not t.is_persistent)
-        for op in ops
-    ]
+    remaining = list(sk.consumer_counts)
+    grow = [sum(size_arr[t] for t in outs) for outs in sk.out_grow]
     shrink = [0] * n
     for t, ops_counts in holders.items():
         rem = remaining[t]
         for i, c in ops_counts:
             if c == rem:
-                shrink[i] += sizes[t]
+                shrink[i] += size_arr[t]
 
-    pending = [0] * n
-    for i, op in enumerate(ops):
-        producers = {t.producer for t in op.inputs if t.producer is not None}
-        pending[i] = len(producers)
-
+    pending = list(sk.pending0)
     is_ready = [False] * n
     executed = [False] * n
     # heap traffic is counted in locals (one add per heap op) and
@@ -232,8 +329,7 @@ def memory_greedy_order(graph: Graph,
             stale += 1
             continue
         executed[i] = True
-        op = ops[i]
-        order.append(op)
+        order.append(sk.ops[i])
 
         for t, c in uses[i]:
             remaining[t] -= c
@@ -243,24 +339,22 @@ def memory_greedy_order(graph: Graph,
             # a consumer now holding all remaining uses will free t
             for j, cj in holders[t]:
                 if cj == rem and not executed[j]:
-                    shrink[j] += sizes[t]
+                    shrink[j] += size_arr[t]
                     if is_ready[j]:
                         heapq.heappush(heap, (grow[j] - shrink[j], j))
                         pushes += 1
-        for out in op.outputs:
-            for consumer in out.consumers:
-                j = op_index[consumer]
-                pending[j] -= 1
-                if pending[j] == 0 and not is_ready[j]:
-                    is_ready[j] = True
-                    heapq.heappush(heap, (grow[j] - shrink[j], j))
-                    pushes += 1
+        for j in sk.edge_consumers[i]:
+            pending[j] -= 1
+            if pending[j] == 0 and not is_ready[j]:
+                is_ready[j] = True
+                heapq.heappush(heap, (grow[j] - shrink[j], j))
+                pushes += 1
     _SCHEDULES.inc()
     _HEAP_PUSHES.inc(pushes)
     _HEAP_POPS.inc(pops)
     _HEAP_STALE.inc(stale)
     if len(order) != n:
-        raise ValueError(f"graph {graph.name} has a cycle")
+        raise ValueError(f"graph {sk.name} has a cycle")
     return order
 
 
@@ -332,26 +426,25 @@ def liveness_peak(
     to the end.  Persistent tensors (weights) and graph inputs are live
     for the whole step.
     """
-    persistent = 0
-    for t in graph.tensors.values():
-        if t.is_persistent or t.producer is None:
-            persistent += sizes[t]
+    sk = _skeleton(graph)
+    size_arr = _size_array(sk, sizes)
+    persistent = sum(size_arr[i] for i in sk.persistent_idx)
 
-    remaining = _consumer_counts(graph)
+    op_index = sk.op_index
+    out_live = sk.out_live
+    live_uses = sk.live_uses
+    remaining = list(sk.consumer_counts)
     live = 0
     peak = 0
     for op in order:
-        for out in op.outputs:
-            if not (out.is_persistent or out.producer is None):
-                live += sizes[out]
-        peak = max(peak, live)
-        seen = set()
-        for t in op.inputs:
-            if t.is_persistent or t.producer is None or t in seen:
-                continue
-            seen.add(t)
-            remaining[t] -= sum(1 for c in t.consumers if c is op)
+        i = op_index[op]
+        for t in out_live[i]:
+            live += size_arr[t]
+        if live > peak:
+            peak = live
+        for t, c in live_uses[i]:
+            remaining[t] -= c
             if remaining[t] == 0:
-                live -= sizes[t]
+                live -= size_arr[t]
     base = persistent if include_params else 0
     return base + peak

@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, List
+from functools import lru_cache
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -38,6 +39,7 @@ _GRID = 32
 
 _CHOICES = obs.counter("planner.subbatch.choices")
 _CURVES = obs.counter("planner.subbatch.curves_compiled")
+_CURVE_HITS = obs.counter("planner.subbatch.curves_cache_hit")
 #: bisection probes consumed per choose_subbatch call (three root
 #: findings: ridge crossing, saturation, min-latency)
 _CHOICE_ITERS = obs.histogram("planner.subbatch.bisect_iterations")
@@ -64,15 +66,40 @@ class CompiledCurves:
 
 def compile_curves(model: FirstOrderModel, params: float,
                    accel: AcceleratorConfig) -> CompiledCurves:
-    """Fold p-invariant terms of the §5.2.1 curves into constants."""
+    """Fold p-invariant terms of the §5.2.1 curves into constants.
+
+    Memoized on the scalar ingredients (coefficients, params,
+    accelerator throughputs): :func:`choose_subbatch` and
+    :func:`subbatch_curve` are typically called back-to-back for the
+    same configuration, and reports re-plan the same models repeatedly
+    — each such call now reuses the folded closures.
+    """
+    c1, c2 = model.intensity_coefficients()
+    before = _curves_cached.cache_info().hits
+    curves = _curves_cached(
+        model.gamma, model.lam, model.mu, model.delta, model.phi,
+        c1, c2, float(params),
+        accel.achievable_flops, accel.achievable_bandwidth,
+    )
+    if _curves_cached.cache_info().hits > before:
+        _CURVE_HITS.inc()
+    return curves
+
+
+@lru_cache(maxsize=256)
+def _curves_cached(gamma: float, lam: float, mu: float,
+                   delta: Optional[float], phi: float,
+                   c1: float, c2: float, params: float,
+                   achievable_flops: float,
+                   achievable_bandwidth: float) -> CompiledCurves:
     _CURVES.inc()
     root_p = math.sqrt(params)
-    c1, c2 = model.intensity_coefficients()
     c1_root_p = c1 * root_p
     # ct = γ·b·p, at = λ·p + µ·b·√p (per-b slopes/offsets precomputed)
-    compute_slope = model.gamma * params / accel.achievable_flops
-    memory_fixed = model.lam * params / accel.achievable_bandwidth
-    memory_slope = model.mu * root_p / accel.achievable_bandwidth
+    compute_slope = gamma * params / achievable_flops
+    memory_fixed = lam * params / achievable_bandwidth
+    memory_slope = mu * root_p / achievable_bandwidth
+
     def intensity(b):
         return b * root_p / (c1_root_p + c2 * b)
 
@@ -82,12 +109,12 @@ def compile_curves(model: FirstOrderModel, params: float,
     def time_per_sample(b):
         return step_time(b) / b
 
-    if model.delta is None:
+    if delta is None:
         def footprint(b):
             return b * 0.0
     else:
-        delta_p = model.delta * params
-        phi_root_p = model.phi * root_p
+        delta_p = delta * params
+        phi_root_p = phi * root_p
 
         def footprint(b):
             return delta_p + phi_root_p * b

@@ -30,9 +30,10 @@ from .expr import (
     sqrt,
     symbols,
 )
-from .compile import (CompiledExpr, compile_batch, compile_expr,
-                      numeric_guard, numeric_policy, set_numeric_policy)
-from .poly import (asymptotic_ratio, coefficient, degree, degrees,
+from .compile import (CodegenExpr, CompiledExpr, compile_batch,
+                      compile_expr, fuse_tape, numeric_guard,
+                      numeric_policy, set_numeric_policy)
+from .poly import (Poly, asymptotic_ratio, coefficient, degree, degrees,
                    expand, leading_term, nonnegative)
 from .solve import (bisect_increasing, evalf_fn, expand_bracket,
                     invert_power_law, power_law)
@@ -52,6 +53,7 @@ __all__ = [
     "sqrt",
     "as_expr",
     "symbols",
+    "Poly",
     "expand",
     "degree",
     "degrees",
@@ -65,8 +67,10 @@ __all__ = [
     "expand_bracket",
     "evalf_fn",
     "CompiledExpr",
+    "CodegenExpr",
     "compile_expr",
     "compile_batch",
+    "fuse_tape",
     "numeric_guard",
     "numeric_policy",
     "set_numeric_policy",

@@ -54,8 +54,9 @@ from .expr import (
     Symbol,
 )
 
-__all__ = ["CompiledExpr", "compile_expr", "compile_batch",
-           "numeric_guard", "set_numeric_policy", "numeric_policy"]
+__all__ = ["CompiledExpr", "CodegenExpr", "compile_expr", "compile_batch",
+           "fuse_tape", "numeric_guard", "set_numeric_policy",
+           "numeric_policy"]
 
 # Compile-time observability: tapes built, instructions emitted, and
 # instructions *avoided* by CSE (a slot lookup that found the subtree
@@ -64,6 +65,9 @@ __all__ = ["CompiledExpr", "compile_expr", "compile_batch",
 _TAPES = _obs_counter("symbolic.compile.tapes")
 _INSTRUCTIONS = _obs_counter("symbolic.compile.instructions")
 _CSE_REUSED = _obs_counter("symbolic.compile.cse_reused")
+_FUSED_TAPES = _obs_counter("symbolic.compile.fused_tapes")
+_FUSED_ELIDED = _obs_counter("symbolic.compile.fused_elided")
+_CODEGEN_FUNCS = _obs_counter("symbolic.compile.codegen_functions")
 
 # Numeric sentinels: every tape replay checks its outputs for NaN/Inf
 # (overflowed ``h**2`` terms, 0/0 intensities, log of a non-positive
@@ -115,6 +119,165 @@ _MIN = 6     # payload: (slot, ...)
 _CEIL = 7    # payload: slot
 _FLOOR = 8   # payload: slot
 _LOG = 9     # payload: slot
+
+# Fused opcodes, produced only by :func:`fuse_tape` (never by the
+# compiler).  Exponents and coefficients become float immediates, so a
+# fused instruction touches no _CONST slots.
+_PPROD = 10  # payload: (coeff, ((base_slot, exp_or_None), ...));
+             # exp None means exponent 1 (use the value directly)
+_FMA = 11    # payload: (const, (term, ...)); term is (coeff, slot) or
+             # (coeff, (pprod_coeff, pprod_factors)) for an inlined
+             # single-use power-product
+
+
+def _payload_slots(opcode: int, payload):
+    """Operand slots an instruction reads (tape-format dispatch)."""
+    if opcode in (_CONST, _SYM):
+        return
+    if opcode == _ADD:
+        for slot, _coeff in payload[1]:
+            yield slot
+    elif opcode == _MUL:
+        for base, exp_slot, _is_one in payload[1]:
+            yield base
+            yield exp_slot
+    elif opcode == _POW:
+        yield payload[0]
+        yield payload[1]
+    elif opcode in (_MAX, _MIN):
+        yield from payload
+    elif opcode in (_CEIL, _FLOOR, _LOG):
+        yield payload
+    elif opcode == _PPROD:
+        for base, _exp in payload[1]:
+            yield base
+    elif opcode == _FMA:
+        for _coeff, ref in payload[1]:
+            if type(ref) is int:
+                yield ref
+            else:
+                for base, _exp in ref[1]:
+                    yield base
+    else:  # pragma: no cover - new opcodes must extend this table
+        raise ValueError(f"unknown opcode {opcode}")
+
+
+def _remap_payload(opcode: int, payload, remap: Dict[int, int]):
+    """Rewrite every slot reference in a payload through ``remap``."""
+    if opcode in (_CONST, _SYM):
+        return payload
+    if opcode == _ADD:
+        const, terms = payload
+        return (const, tuple((remap[s], c) for s, c in terms))
+    if opcode == _MUL:
+        coeff, factors = payload
+        return (coeff, tuple(
+            (remap[b], remap[e], one) for b, e, one in factors
+        ))
+    if opcode == _POW:
+        return (remap[payload[0]], remap[payload[1]])
+    if opcode in (_MAX, _MIN):
+        return tuple(remap[s] for s in payload)
+    if opcode in (_CEIL, _FLOOR, _LOG):
+        return remap[payload]
+    if opcode == _PPROD:
+        coeff, factors = payload
+        return (coeff, tuple((remap[b], e) for b, e in factors))
+    # _FMA
+    const, terms = payload
+    out = []
+    for coeff, ref in terms:
+        if type(ref) is int:
+            out.append((coeff, remap[ref]))
+        else:
+            pcoeff, pfactors = ref
+            out.append((coeff, (pcoeff, tuple(
+                (remap[b], e) for b, e in pfactors
+            ))))
+    return (const, tuple(out))
+
+
+def fuse_tape(code: Sequence[Tuple[int, object]],
+              out_slots: Sequence[int]):
+    """Fuse a compiler tape; returns ``(fused_code, fused_out_slots)``.
+
+    Two rewrites, both bit-identical under scalar replay (``1.0*x`` and
+    ``x**1.0`` are exact identities for floats):
+
+    * **power-product folding** — a ``_MUL`` whose exponents are all
+      constant slots (or literal one), and a ``_POW`` with a constant
+      exponent slot, become one ``_PPROD`` with float immediates, so
+      replay stops chasing exponent slots entirely.
+    * **multiply-add inlining** — an ``_ADD`` term whose slot is a
+      single-use ``_PPROD`` absorbs the product into the sum
+      (``_FMA``), eliminating the intermediate slot write.
+
+    Dead instructions (the folded ``_CONST`` exponents and inlined
+    ``_PPROD``\\ s) are then removed and slots renumbered.  Free-symbol
+    loads are never dead, so the binding contract is unchanged.
+    """
+    code = list(code)
+    n = len(code)
+    # Pass A: constant-exponent products become immediate-form _PPROD.
+    for i, (opcode, payload) in enumerate(code):
+        if opcode == _MUL:
+            coeff, factors = payload
+            fused_factors = []
+            for base, exp_slot, is_one in factors:
+                if is_one:
+                    fused_factors.append((base, None))
+                elif code[exp_slot][0] == _CONST:
+                    fused_factors.append((base, code[exp_slot][1]))
+                else:
+                    break
+            else:
+                code[i] = (_PPROD, (coeff, tuple(fused_factors)))
+        elif opcode == _POW:
+            base, exp_slot = payload
+            if code[exp_slot][0] == _CONST:
+                code[i] = (_PPROD, (1.0, ((base, code[exp_slot][1]),)))
+    # Pass B: inline single-use power-products into their consuming sum.
+    # Output slots count as uses, so an output _PPROD is never inlined.
+    uses = [0] * n
+    for slot in out_slots:
+        uses[slot] += 1
+    for opcode, payload in code:
+        for s in _payload_slots(opcode, payload):
+            uses[s] += 1
+    for i, (opcode, payload) in enumerate(code):
+        if opcode != _ADD:
+            continue
+        const, terms = payload
+        fused_terms = []
+        inlined = False
+        for slot, coeff in terms:
+            t_op, t_payload = code[slot]
+            if t_op == _PPROD and uses[slot] == 1:
+                fused_terms.append((coeff, t_payload))
+                inlined = True
+            else:
+                fused_terms.append((coeff, slot))
+        if inlined:
+            code[i] = (_FMA, (const, tuple(fused_terms)))
+    # Dead-code elimination (backwards liveness from the outputs) and
+    # slot renumbering.
+    live = [False] * n
+    stack = list(out_slots)
+    while stack:
+        s = stack.pop()
+        if live[s]:
+            continue
+        live[s] = True
+        stack.extend(_payload_slots(*code[s]))
+    remap: Dict[int, int] = {}
+    for i in range(n):
+        if live[i]:
+            remap[i] = len(remap)
+    fused_code = tuple(
+        (code[i][0], _remap_payload(code[i][0], code[i][1], remap))
+        for i in range(n) if live[i]
+    )
+    return fused_code, tuple(remap[s] for s in out_slots)
 
 
 def _binding_float(name: str, value) -> float:
@@ -265,7 +428,8 @@ class CompiledExpr:
     ``(N, n_out)`` array.
     """
 
-    __slots__ = ("code", "symbols", "out_slots", "_sym_index", "_single")
+    __slots__ = ("code", "symbols", "out_slots", "_sym_index", "_single",
+                 "_fused", "_codegen")
 
     def __init__(self, code: Sequence[Tuple[int, object]],
                  symbols: Sequence[Symbol],
@@ -275,6 +439,48 @@ class CompiledExpr:
         self.out_slots = tuple(out_slots)
         self._sym_index = {s.name: i for i, s in enumerate(self.symbols)}
         self._single = single
+        self._fused = None
+        self._codegen = None
+
+    # -- derived engines (cached; the tape itself is immutable) --------
+    def fused(self) -> "CompiledExpr":
+        """This tape with power-products and multiply-adds fused.
+
+        Same outputs (bit-identical on the scalar path), fewer and
+        fatter instructions; the result is a plain :class:`CompiledExpr`
+        replayed by the same interpreter.
+        """
+        if self._fused is None:
+            with _TRACER.span("symbolic.compile", "fuse") as span:
+                fcode, fouts = fuse_tape(self.code, self.out_slots)
+                fused = CompiledExpr(fcode, self.symbols, fouts,
+                                     single=self._single)
+                fused._fused = fused
+                _FUSED_TAPES.inc()
+                _FUSED_ELIDED.inc(len(self.code) - len(fcode))
+                span.set(instructions=len(fcode),
+                         elided=len(self.code) - len(fcode))
+                self._fused = fused
+        return self._fused
+
+    def codegen(self) -> "CodegenExpr":
+        """The fused tape lowered to one ``compile()``d Python function.
+
+        Replay loses the per-instruction dispatch loop entirely: the
+        scalar variant is a straight-line float computation, the vector
+        variant the same over numpy columns.  Scalar results stay
+        bit-identical to :meth:`eval_vector`; the numeric guards and
+        unbound-symbol errors are preserved.
+        """
+        if self._codegen is None:
+            with _TRACER.span("symbolic.compile", "codegen") as span:
+                base = self.fused()
+                self._codegen = CodegenExpr(base.code, self.symbols,
+                                            base.out_slots,
+                                            single=self._single)
+                _CODEGEN_FUNCS.inc()
+                span.set(instructions=len(base.code))
+        return self._codegen
 
     # -- binding resolution (the single dict-probe boundary) -----------
     def slot_of(self, sym: Union[Symbol, str]) -> int:
@@ -382,6 +588,24 @@ class CompiledExpr:
                 v = float(math.ceil(vals[payload] - 1e-12))
             elif opcode == _FLOOR:
                 v = float(math.floor(vals[payload] + 1e-12))
+            elif opcode == _PPROD:
+                coeff, factors = payload
+                v = coeff
+                for base, exp in factors:
+                    v *= vals[base] if exp is None else vals[base] ** exp
+            elif opcode == _FMA:
+                const, terms = payload
+                v = const
+                for coeff, ref in terms:
+                    if type(ref) is int:
+                        v += coeff * vals[ref]
+                    else:
+                        pcoeff, pfactors = ref
+                        t = pcoeff
+                        for base, exp in pfactors:
+                            t *= (vals[base] if exp is None
+                                  else vals[base] ** exp)
+                        v += coeff * t
             else:  # _LOG
                 v = math.log(vals[payload])
             vals[i] = v
@@ -488,6 +712,25 @@ class CompiledExpr:
                 v = np.ceil(vals[payload] - 1e-12)
             elif opcode == _FLOOR:
                 v = np.floor(vals[payload] + 1e-12)
+            elif opcode == _PPROD:
+                coeff, factors = payload
+                v = coeff
+                for base, exp in factors:
+                    v = v * (vals[base] if exp is None
+                             else vals[base] ** exp)
+            elif opcode == _FMA:
+                const, terms = payload
+                v = const
+                for coeff, ref in terms:
+                    if type(ref) is int:
+                        v = v + coeff * vals[ref]
+                    else:
+                        pcoeff, pfactors = ref
+                        t = pcoeff
+                        for base, exp in pfactors:
+                            t = t * (vals[base] if exp is None
+                                     else vals[base] ** exp)
+                        v = v + coeff * t
             else:  # _LOG
                 v = np.log(vals[payload])
             vals[i] = v
@@ -530,6 +773,196 @@ class CompiledExpr:
 def _rebuild_compiled(code, symbols, out_slots, single) -> "CompiledExpr":
     """Unpickle hook for :class:`CompiledExpr` (module-level for pickle)."""
     return CompiledExpr(code, symbols, out_slots, single=single)
+
+
+# -- source-codegen backend -------------------------------------------
+#
+# Each instruction becomes one assignment ``v{i} = ...``; the python
+# compiler then keeps every slot in a fast local instead of a list, and
+# dispatch disappears.  Emission preserves scalar bit-identity with the
+# replay loop: ``1.0 * x == x`` and ``x ** 1.0 == x`` exactly, so unit
+# coefficients/exponents may be dropped; a zero additive constant folds
+# the same way (``0.0 + y == y`` for every y, up to the sign of zero,
+# which no consumer distinguishes).  Operand order within a sum or
+# product matches the replay accumulation order exactly.
+
+def _product_src(coeff: float, factors) -> str:
+    """Source for a _PPROD payload: ``coeff * v3**2.0 * v5 ...``."""
+    parts = [] if coeff == 1.0 and factors else [repr(coeff)]
+    for base, exp in factors:
+        parts.append(f"v{base}" if exp is None else f"v{base} ** {exp!r}")
+    return " * ".join(parts)
+
+
+def _codegen_lines(code, out_slots, vec: bool) -> List[str]:
+    """Emit the function body (one assignment per live instruction)."""
+    lines: List[str] = []
+    for i, (opcode, payload) in enumerate(code):
+        tgt = f"v{i}"
+        if opcode == _CONST:
+            lines.append(f"{tgt} = {payload!r}")
+        elif opcode == _SYM:
+            if vec:
+                lines.append(f"{tgt} = _m[:, {payload}]")
+            else:
+                lines.append(f"{tgt} = _v[{payload}]")
+                lines.append(f"if {tgt} is None: _unbound({payload})")
+        elif opcode == _ADD or opcode == _FMA:
+            const, terms = payload
+            parts = []
+            if const != 0.0 or not terms:
+                parts.append(repr(const))
+            for first, second in terms:
+                if opcode == _ADD:
+                    coeff, src = second, f"v{first}"
+                elif type(second) is int:
+                    coeff, src = first, f"v{second}"
+                else:
+                    coeff = first
+                    src = f"({_product_src(second[0], second[1])})"
+                parts.append(src if coeff == 1.0 else f"{coeff!r} * {src}")
+            lines.append(f"{tgt} = " + " + ".join(parts))
+        elif opcode == _MUL:
+            coeff, factors = payload
+            parts = [] if coeff == 1.0 and factors else [repr(coeff)]
+            for base, exp, is_one in factors:
+                parts.append(f"v{base}" if is_one
+                             else f"v{base} ** v{exp}")
+            lines.append(f"{tgt} = " + " * ".join(parts))
+        elif opcode == _PPROD:
+            coeff, factors = payload
+            lines.append(f"{tgt} = " + _product_src(coeff, factors))
+        elif opcode == _POW:
+            lines.append(f"{tgt} = v{payload[0]} ** v{payload[1]}")
+        elif opcode in (_MAX, _MIN):
+            if vec:
+                fn = "_nmax" if opcode == _MAX else "_nmin"
+                src = f"v{payload[0]}"
+                for s in payload[1:]:
+                    src = f"{fn}({src}, v{s})"
+            elif len(payload) == 1:
+                src = f"v{payload[0]}"
+            else:
+                fn = "max" if opcode == _MAX else "min"
+                args = ", ".join(f"v{s}" for s in payload)
+                src = f"{fn}({args})"
+            lines.append(f"{tgt} = {src}")
+        elif opcode == _CEIL:
+            lines.append(
+                f"{tgt} = _nceil(v{payload} - 1e-12)" if vec
+                else f"{tgt} = float(_mceil(v{payload} - 1e-12))")
+        elif opcode == _FLOOR:
+            lines.append(
+                f"{tgt} = _nfloor(v{payload} + 1e-12)" if vec
+                else f"{tgt} = float(_mfloor(v{payload} + 1e-12))")
+        else:  # _LOG
+            lines.append(f"{tgt} = _nlog(v{payload})" if vec
+                         else f"{tgt} = _mlog(v{payload})")
+    outs = ", ".join(f"v{s}" for s in out_slots)
+    lines.append(f"return ({outs},)" if len(out_slots) == 1
+                 else f"return ({outs})")
+    return lines
+
+
+def _codegen_source(code, out_slots) -> str:
+    """The module source holding both generated variants."""
+    body_s = "\n    ".join(_codegen_lines(code, out_slots, vec=False))
+    body_v = "\n    ".join(_codegen_lines(code, out_slots, vec=True))
+    return (f"def _tape_scalar(_v):\n    {body_s}\n\n"
+            f"def _tape_vector(_m):\n    {body_v}\n")
+
+
+def _codegen_namespace(symbols) -> Dict[str, object]:
+    def _unbound(idx: int):
+        raise BindingError(
+            f"unbound symbol {symbols[idx].name!r} in evalf",
+            hint="fill every slot of a partial bind_vector before "
+                 "replaying the tape",
+        )
+
+    return {
+        "__builtins__": {},
+        "max": max,
+        "min": min,
+        "float": float,
+        "_mceil": math.ceil,
+        "_mfloor": math.floor,
+        "_mlog": math.log,
+        "_nmax": np.maximum,
+        "_nmin": np.minimum,
+        "_nceil": np.ceil,
+        "_nfloor": np.floor,
+        "_nlog": np.log,
+        "_unbound": _unbound,
+    }
+
+
+class CodegenExpr(CompiledExpr):
+    """A tape lowered to ``compile()``d Python source (no dispatch loop).
+
+    Drop-in for :class:`CompiledExpr`: same binding resolution, numeric
+    guards, error surfaces, and pickling (the *source* is regenerated
+    from the tape on load, never serialized).  Construct via
+    :meth:`CompiledExpr.codegen`, which fuses the tape first.
+    """
+
+    __slots__ = ("source", "_scalar_fn", "_vector_fn")
+
+    def __init__(self, code, symbols, out_slots, *, single: bool):
+        super().__init__(code, symbols, out_slots, single=single)
+        self.source = _codegen_source(self.code, self.out_slots)
+        namespace = _codegen_namespace(self.symbols)
+        exec(compile(self.source, "<repro.symbolic.codegen>", "exec"),
+             namespace)
+        self._scalar_fn = namespace["_tape_scalar"]
+        self._vector_fn = namespace["_tape_vector"]
+
+    def codegen(self) -> "CodegenExpr":
+        return self
+
+    def _eval_vector(self, vec: Sequence[Optional[float]]):
+        outs = self._scalar_fn(vec)
+        if _NUMERIC_POLICY != "off":
+            _GUARD_CHECKS.inc()
+            for j, value in enumerate(outs):
+                if not math.isfinite(value):
+                    self._numeric_violation(value, j, vec)
+                    break
+        if self._single:
+            return outs[0]
+        return list(outs)
+
+    def _eval_many(self, mat: np.ndarray) -> np.ndarray:
+        outs = self._vector_fn(mat)
+        out = np.empty((mat.shape[0], len(self.out_slots)), dtype=float)
+        for j, column in enumerate(outs):
+            out[:, j] = column
+        if _NUMERIC_POLICY != "off":
+            _GUARD_CHECKS.inc()
+            finite = np.isfinite(out)
+            if not finite.all():
+                rows, cols = np.nonzero(~finite)
+                r, j = int(rows[0]), int(cols[0])
+                self._numeric_violation(
+                    float(out[r, j]), j, list(mat[r, :])
+                )
+        if self._single:
+            return out[:, 0]
+        return out
+
+    def __reduce__(self):
+        return (_rebuild_codegen, (self.code, self.symbols,
+                                   self.out_slots, self._single))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CodegenExpr({len(self.code)} instrs, "
+                f"{len(self.symbols)} symbols, "
+                f"{len(self.out_slots)} outputs)")
+
+
+def _rebuild_codegen(code, symbols, out_slots, single) -> "CodegenExpr":
+    """Unpickle hook for :class:`CodegenExpr` (module-level for pickle)."""
+    return CodegenExpr(code, symbols, out_slots, single=single)
 
 
 def _record_compile(span, comp: _Compiler, n_exprs: int) -> None:

@@ -22,6 +22,7 @@ Design notes
 from __future__ import annotations
 
 import math
+import weakref
 from fractions import Fraction
 from typing import Dict, Iterable, Mapping, Tuple, Union
 
@@ -92,23 +93,46 @@ def _normalize_bindings(bindings):
     }
 
 
+#: Global hash-consing table: structural key -> the unique live Expr
+#: with that structure.  Values are weak so expressions are reclaimed
+#: once no longer referenced; keys hold the (interned) children, whose
+#: own entries expire with them.
+_INTERN: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+
+
+def _intern(candidate: "Expr") -> "Expr":
+    """Return the canonical instance for ``candidate``'s structure.
+
+    ``setdefault`` keeps a concurrent double-construction race benign:
+    exactly one candidate wins and the loser is discarded before it can
+    escape its constructor.
+    """
+    return _INTERN.setdefault(candidate._key, candidate)
+
+
 class Expr:
     """Base class of all symbolic expressions.
 
-    Subclasses set ``_key`` (a hashable structural fingerprint) in their
-    constructor; equality and hashing are structural.
+    Construction is globally hash-consed (interned): structurally equal
+    expressions are the *same object*, so ``__eq__`` is a pointer
+    comparison and ``__hash__`` returns a value cached at construction.
+    Subclasses build a shallow ``_key`` (child identities, not child
+    keys) in ``__new__`` — hashing a node is O(children), not O(tree).
     """
 
-    __slots__ = ("_key", "_hash")
+    __slots__ = ("_key", "_hash", "__weakref__")
 
     # -- identity ------------------------------------------------------
     def __eq__(self, other: object) -> bool:
         if self is other:
             return True
         if isinstance(other, Expr):
+            # interning makes structural equality identity; distinct
+            # objects compare unequal via their (shallow) keys only as
+            # a defensive fallback
             return self._key == other._key
         if isinstance(other, (int, float, Fraction)):
-            return self._key == as_expr(other)._key
+            return self is as_expr(other)
         return NotImplemented
 
     def __ne__(self, other: object) -> bool:
@@ -119,6 +143,14 @@ class Expr:
 
     def __hash__(self) -> int:
         return self._hash
+
+    # interned expressions are immutable singletons: copying returns
+    # the same object, and pickling re-interns through the constructor
+    def __copy__(self) -> "Expr":
+        return self
+
+    def __deepcopy__(self, memo) -> "Expr":
+        return self
 
     # -- arithmetic ----------------------------------------------------
     def __add__(self, other: Union["Expr", Number]) -> "Expr":
@@ -204,10 +236,20 @@ class Const(Expr):
 
     __slots__ = ("value",)
 
-    def __init__(self, value: Number):
-        self.value = _to_fraction(value)
-        self._key = ("const", self.value)
-        self._hash = hash(self._key)
+    def __new__(cls, value: Number):
+        value = _to_fraction(value)
+        key = ("const", value)
+        cached = _INTERN.get(key)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        self.value = value
+        self._key = key
+        self._hash = hash(key)
+        return _intern(self)
+
+    def __reduce__(self):
+        return (Const, (self.value,))
 
     def free_symbols(self) -> frozenset:
         return frozenset()
@@ -222,7 +264,10 @@ class Const(Expr):
         return self.value
 
     def sort_key(self) -> tuple:
-        return (0, float(self.value))
+        # the float leads for cheap comparisons; the exact pair breaks
+        # float-equal ties so the total order is injective on values
+        v = self.value
+        return (0, float(v), (v.numerator, v.denominator))
 
 
 #: Shared constants, used frequently during canonicalization.
@@ -237,12 +282,21 @@ class Symbol(Expr):
 
     __slots__ = ("name",)
 
-    def __init__(self, name: str):
+    def __new__(cls, name: str):
         if not name or not isinstance(name, str):
             raise ValueError("symbol name must be a non-empty string")
+        key = ("symbol", name)
+        cached = _INTERN.get(key)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
         self.name = name
-        self._key = ("symbol", name)
-        self._hash = hash(self._key)
+        self._key = key
+        self._hash = hash(key)
+        return _intern(self)
+
+    def __reduce__(self):
+        return (Symbol, (self.name,))
 
     def free_symbols(self) -> frozenset:
         return frozenset((self,))
@@ -292,11 +346,22 @@ class Add(Expr):
 
     __slots__ = ("const", "terms")
 
-    def __init__(self, const: Fraction, terms: Tuple[Tuple[Expr, Fraction], ...]):
+    def __new__(cls, const: Fraction, terms: Tuple[Tuple[Expr, Fraction], ...]):
+        # shallow key: child *objects* stand in for their structure
+        # (sound because children are themselves interned)
+        key = ("add", const, terms)
+        cached = _INTERN.get(key)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
         self.const = const
         self.terms = terms
-        self._key = ("add", const, tuple((t._key, c) for t, c in terms))
-        self._hash = hash(self._key)
+        self._key = key
+        self._hash = hash(key)
+        return _intern(self)
+
+    def __reduce__(self):
+        return (Add, (self.const, self.terms))
 
     @staticmethod
     def of(*args: Expr) -> Expr:
@@ -365,7 +430,9 @@ class Add(Expr):
         return self.const
 
     def sort_key(self) -> tuple:
-        return (4, tuple((t.sort_key(), c) for t, c in self.terms), float(self.const))
+        c = self.const
+        return (4, tuple((t.sort_key(), co) for t, co in self.terms),
+                float(c), (c.numerator, c.denominator))
 
 
 def _split_coefficient(expr: Expr) -> Tuple[Fraction, Expr]:
@@ -401,11 +468,20 @@ class Mul(Expr):
 
     __slots__ = ("coeff", "factors")
 
-    def __init__(self, coeff: Fraction, factors: Tuple[Tuple[Expr, Expr], ...]):
+    def __new__(cls, coeff: Fraction, factors: Tuple[Tuple[Expr, Expr], ...]):
+        key = ("mul", coeff, factors)
+        cached = _INTERN.get(key)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
         self.coeff = coeff
         self.factors = factors
-        self._key = ("mul", coeff, tuple((b._key, e._key) for b, e in factors))
-        self._hash = hash(self._key)
+        self._key = key
+        self._hash = hash(key)
+        return _intern(self)
+
+    def __reduce__(self):
+        return (Mul, (self.coeff, self.factors))
 
     @staticmethod
     def of(*args: Expr) -> Expr:
@@ -514,7 +590,9 @@ class Mul(Expr):
         return self.coeff
 
     def sort_key(self) -> tuple:
-        return (3, tuple((b.sort_key(), e.sort_key()) for b, e in self.factors), float(self.coeff))
+        c = self.coeff
+        return (3, tuple((b.sort_key(), e.sort_key()) for b, e in self.factors),
+                float(c), (c.numerator, c.denominator))
 
 
 def _pow_parts(expr: Expr) -> Tuple[Expr, Expr]:
@@ -580,11 +658,20 @@ class Pow(Expr):
 
     __slots__ = ("base", "exponent")
 
-    def __init__(self, base: Expr, exponent: Expr):
+    def __new__(cls, base: Expr, exponent: Expr):
+        key = ("pow", base, exponent)
+        cached = _INTERN.get(key)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
         self.base = base
         self.exponent = exponent
-        self._key = ("pow", base._key, exponent._key)
-        self._hash = hash(self._key)
+        self._key = key
+        self._hash = hash(key)
+        return _intern(self)
+
+    def __reduce__(self):
+        return (Pow, (self.base, self.exponent))
 
     @staticmethod
     def of(base: Expr, exponent: Expr) -> Expr:
@@ -625,10 +712,19 @@ class _Func(Expr):
     __slots__ = ("fargs",)
     fname = "func"
 
-    def __init__(self, fargs: Tuple[Expr, ...]):
+    def __new__(cls, fargs: Tuple[Expr, ...]):
+        key = (cls.fname, fargs)
+        cached = _INTERN.get(key)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
         self.fargs = fargs
-        self._key = (self.fname, tuple(a._key for a in fargs))
-        self._hash = hash(self._key)
+        self._key = key
+        self._hash = hash(key)
+        return _intern(self)
+
+    def __reduce__(self):
+        return (type(self), (self.fargs,))
 
     def free_symbols(self) -> frozenset:
         out = frozenset()

@@ -1,20 +1,41 @@
-"""Generalized-polynomial utilities over the expression engine.
+"""Flat posynomial core over the expression engine.
 
 The compute-requirement formulas in the paper are *posynomials*: sums of
 terms ``c * x1**a1 * ... * xk**ak`` with rational exponents (e.g.
-``1755*p + 30784*b*p**(1/2)``).  This module provides the manipulation
-the analysis layer needs:
+``1755*p + 30784*b*p**(1/2)``).  This module is the canonical internal
+form for that fragment: :class:`Poly` stores a sum as flat sparse arrays
+— ``(coeff, exponent-vector)`` tuples over an interned atom table — and
+its arithmetic (:meth:`Poly.add` / :meth:`Poly.mul` / :meth:`Poly.pow` /
+:meth:`Poly.substitute`) works on those arrays without allocating
+``Expr`` nodes.  Non-posynomial subtrees (``max``/``min``/``ceil``/
+``floor``/``log``, symbolic exponents, negative/fractional powers of
+sums) are carried opaquely as *atoms*, so every expression flattens.
+
+The classic tree-walking entry points keep their signatures and now run
+on the flat form:
 
 * :func:`expand` — distribute products over sums,
 * :func:`degree` / :func:`coefficient` — per-symbol degree queries,
 * :func:`asymptotic_ratio` — ``lim expr_a/expr_b`` as a symbol grows,
 * :func:`leading_term` — dominant term for a growing symbol.
+
+The previous recursive implementations survive as ``_*_treewalk``
+oracles for the property-based equivalence suite.
+
+Term order and bit-identity
+---------------------------
+``Poly.terms`` are sorted by the same total order ``Add`` uses for its
+canonical term order (reconstructed without building ``Expr`` nodes),
+and :meth:`Poly.evalf` performs the same float operations in the same
+order as ``Expr.evalf`` on the equivalent canonical tree — the two are
+bit-identical, not merely close.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Optional
+from functools import lru_cache
+from typing import Dict, Mapping, Optional, Tuple
 
 from .expr import (
     Add,
@@ -28,10 +49,13 @@ from .expr import (
     Mul,
     Pow,
     Symbol,
+    _fold_const_pow,
+    _normalize_bindings,
     as_expr,
 )
 
 __all__ = [
+    "Poly",
     "expand",
     "degree",
     "degrees",
@@ -41,6 +65,497 @@ __all__ = [
     "nonnegative",
 ]
 
+_ZERO = Fraction(0)
+_ONE = Fraction(1)
+
+
+def _const_sort_key(value: Fraction) -> tuple:
+    # mirrors Const.sort_key without allocating the Const
+    return (0, float(value), (value.numerator, value.denominator))
+
+
+class Poly:
+    """A flat posynomial: ``sum(coeff * prod(atom ** exp))``.
+
+    ``atoms`` is a tuple of interned ``Expr`` bases sorted by
+    ``sort_key`` (symbols, plus opaque non-posynomial subtrees), and
+    ``terms`` a tuple of ``(coeff, exps)`` with ``coeff`` a nonzero
+    Fraction and ``exps`` a Fraction exponent vector aligned with
+    ``atoms``.  Instances are immutable; all arithmetic returns new
+    polys and never allocates ``Expr`` nodes.
+    """
+
+    __slots__ = ("atoms", "terms", "_plan", "_sym_atoms")
+
+    def __init__(self, atoms: Tuple[Expr, ...],
+                 terms: Tuple[Tuple[Fraction, Tuple[Fraction, ...]], ...]):
+        self.atoms = atoms
+        self.terms = terms
+        self._plan = None
+        self._sym_atoms = all(type(a) is Symbol for a in atoms)
+
+    # -- constructors --------------------------------------------------
+    @staticmethod
+    def const(value) -> "Poly":
+        value = value if isinstance(value, Fraction) else Fraction(value)
+        if value == 0:
+            return Poly((), ())
+        return Poly((), ((value, ()),))
+
+    @staticmethod
+    def atom(base: Expr, exponent: Fraction = _ONE) -> "Poly":
+        if exponent == 0:
+            return Poly((), ((_ONE, ()),))
+        return Poly((base,), ((_ONE, (exponent,)),))
+
+    @staticmethod
+    def from_expr(expr) -> "Poly":
+        """Flatten an expression (expanding products over sums)."""
+        return _flatten(as_expr(expr))
+
+    # -- canonicalization ----------------------------------------------
+    @staticmethod
+    def _build(atoms: Tuple[Expr, ...],
+               termmap: Dict[Tuple[Fraction, ...], Fraction]) -> "Poly":
+        """Normalize a {exps: coeff} map over ``atoms`` into a Poly.
+
+        Folds exactly-foldable rational-base atoms into coefficients,
+        re-canonicalizes accumulated powers of ``Pow`` atoms (so the
+        flat form stays tree-equivalent), drops unused atoms, and sorts
+        terms into canonical Add order.
+        """
+        n = len(atoms)
+        if any(isinstance(a, (Const, Pow)) for a in atoms):
+            return Poly._build_special(atoms, termmap)
+
+        folded = {e: c for e, c in termmap.items() if c != 0}
+        used = [i for i in range(n) if any(e[i] != 0 for e in folded)]
+        if len(used) != n:
+            atoms = tuple(atoms[i] for i in used)
+            remapped: Dict[Tuple[Fraction, ...], Fraction] = {}
+            for e, c in folded.items():
+                key = tuple(e[i] for i in used)
+                remapped[key] = remapped.get(key, _ZERO) + c
+            folded = {e: c for e, c in remapped.items() if c != 0}
+        terms = [(c, e) for e, c in folded.items()]
+        keys = [a.sort_key() for a in atoms]
+        terms.sort(key=lambda t: _term_sort_key(keys, t[1]))
+        return Poly(atoms, tuple(terms))
+
+    @staticmethod
+    def _build_special(atoms, termmap) -> "Poly":
+        """Slow-path build for tables holding Const or Pow atoms.
+
+        ``c ** q`` folds into the term coefficient exactly when the
+        canonical tree would fold it at construction, and a ``Pow``
+        atom (symbolic exponent) raised beyond 1 re-canonicalizes via
+        ``Pow.of`` so exponents merge the way the tree merges them.
+        """
+        norm: Dict[Tuple[Tuple[Expr, Fraction], ...], Fraction] = {}
+        for exps, coeff in termmap.items():
+            if coeff == 0:
+                continue
+            powers: Dict[Expr, Fraction] = {
+                atoms[i]: e for i, e in enumerate(exps) if e != 0
+            }
+            for _ in range(len(powers) + 1):
+                changed = False
+                for atom, e in list(powers.items()):
+                    if isinstance(atom, Const):
+                        f = _fold_const_pow(atom.value, Const(e))
+                        if isinstance(f, Const):
+                            coeff *= f.value
+                            del powers[atom]
+                            changed = True
+                    elif isinstance(atom, Pow) and e != 1:
+                        rebuilt = Pow.of(atom, Const(e))
+                        del powers[atom]
+                        if isinstance(rebuilt, Const):
+                            coeff *= rebuilt.value
+                        else:
+                            base, exp = _atom_parts(rebuilt)
+                            powers[base] = powers.get(base, _ZERO) + exp
+                        changed = True
+                if not changed:
+                    break
+            if coeff == 0:
+                continue
+            key = tuple(sorted(
+                ((a, e) for a, e in powers.items() if e != 0),
+                key=lambda ae: ae[0].sort_key(),
+            ))
+            norm[key] = norm.get(key, _ZERO) + coeff
+
+        table = sorted({a for key in norm for a, _ in key},
+                       key=lambda a: a.sort_key())
+        index = {a: i for i, a in enumerate(table)}
+        folded: Dict[Tuple[Fraction, ...], Fraction] = {}
+        for key, coeff in norm.items():
+            if coeff == 0:
+                continue
+            row = [_ZERO] * len(table)
+            for a, e in key:
+                row[index[a]] = e
+            folded[tuple(row)] = coeff
+        terms = [(c, e) for e, c in folded.items() if c != 0]
+        keys = [a.sort_key() for a in table]
+        terms.sort(key=lambda t: _term_sort_key(keys, t[1]))
+        return Poly(tuple(table), tuple(terms))
+
+    # -- predicates ----------------------------------------------------
+    @property
+    def is_zero(self) -> bool:
+        return not self.terms
+
+    @property
+    def is_monomial(self) -> bool:
+        return len(self.terms) == 1
+
+    def constant_term(self) -> Fraction:
+        for coeff, exps in self.terms:
+            if not any(exps):
+                return coeff
+        return _ZERO
+
+    # -- arithmetic ----------------------------------------------------
+    def add(self, other: "Poly") -> "Poly":
+        atoms, self_map, other_map = _align(self, other)
+        out = dict(self_map)
+        for exps, coeff in other_map.items():
+            out[exps] = out.get(exps, _ZERO) + coeff
+        return Poly._build(atoms, out)
+
+    def mul(self, other: "Poly") -> "Poly":
+        if self.is_zero or other.is_zero:
+            return Poly((), ())
+        atoms, self_map, other_map = _align(self, other)
+        out: Dict[Tuple[Fraction, ...], Fraction] = {}
+        for e1, c1 in self_map.items():
+            for e2, c2 in other_map.items():
+                exps = tuple(a + b for a, b in zip(e1, e2))
+                out[exps] = out.get(exps, _ZERO) + c1 * c2
+        return Poly._build(atoms, out)
+
+    def pow(self, exponent) -> "Poly":
+        """Raise to a rational power.
+
+        Nonnegative integer exponents expand (square-and-multiply over
+        exact coefficients); any rational exponent is valid on a
+        monomial (exponent vectors scale).  Other cases — a fractional
+        or negative power of a genuine sum — have no flat posynomial
+        form and raise ``ValueError``; callers fall back to an opaque
+        atom (see :func:`_flatten`).
+        """
+        exponent = exponent if isinstance(exponent, Fraction) \
+            else Fraction(exponent)
+        if exponent.denominator == 1 and exponent >= 0:
+            n = int(exponent)
+            result = Poly.const(1)
+            base = self
+            while n:
+                if n & 1:
+                    result = result.mul(base)
+                n >>= 1
+                if n:
+                    base = base.mul(base)
+            return result
+        if self.is_monomial:
+            coeff, exps = self.terms[0]
+            termmap = {tuple(e * exponent for e in exps): _ONE}
+            out = Poly._build(self.atoms, termmap)
+            # coeff ** exponent: exact when possible, else an atom
+            folded = _fold_const_pow(coeff, Const(exponent))
+            if isinstance(folded, Const):
+                return out.scale(folded.value)
+            return out.mul(Poly.atom(folded.base, folded.exponent.value))
+        raise ValueError(
+            f"no flat posynomial form for a sum raised to {exponent}"
+        )
+
+    def scale(self, coeff: Fraction) -> "Poly":
+        if coeff == 0:
+            return Poly((), ())
+        return Poly(self.atoms,
+                    tuple((c * coeff, e) for c, e in self.terms))
+
+    def substitute(self, mapping: Mapping) -> "Poly":
+        """Substitute symbols (by Symbol or name) and re-flatten."""
+        out = Poly((), ())
+        for coeff, exps in self.terms:
+            part = Poly.const(coeff)
+            for atom, e in zip(self.atoms, exps):
+                if e == 0:
+                    continue
+                replaced = atom.subs(mapping)
+                part = part.mul(_pow_poly(_flatten(replaced), Const(e)))
+            out = out.add(part)
+        return out
+
+    # -- queries -------------------------------------------------------
+    def degree(self, sym: Symbol) -> Fraction:
+        """Highest degree of ``sym`` across terms (ValueError if the
+        poly is not polynomial-like in ``sym``)."""
+        best = None
+        contrib = [_atom_degree(a, sym) for a in self.atoms]
+        for coeff, exps in self.terms:
+            d = _ZERO
+            for e, unit in zip(exps, contrib):
+                if e == 0:
+                    continue
+                if unit is None:
+                    raise ValueError(
+                        f"{self.to_expr()} is not polynomial-like in {sym}"
+                    )
+                d += e * unit
+            best = d if best is None else max(best, d)
+        return best if best is not None else _ZERO
+
+    def degrees(self) -> "dict[Symbol, Fraction]":
+        out: dict = {}
+        free = set()
+        for atom in self.atoms:
+            free |= atom.free_symbols()
+        for sym in free:
+            out[sym] = self.degree(sym)
+        return out
+
+    def coefficient(self, sym: Symbol, power) -> "Poly":
+        """Terms of exact degree ``power`` in ``sym``, with sym removed."""
+        power = Fraction(power)
+        contrib = [_atom_degree(a, sym) for a in self.atoms]
+        try:
+            sym_idx = self.atoms.index(sym)
+        except ValueError:
+            sym_idx = -1
+        matched: Dict[Tuple[Fraction, ...], Fraction] = {}
+        for coeff, exps in self.terms:
+            d = _ZERO
+            for e, unit in zip(exps, contrib):
+                if e == 0:
+                    continue
+                if unit is None:
+                    raise ValueError(
+                        f"{self.to_expr()} is not polynomial-like in {sym}"
+                    )
+                d += e * unit
+            if d == power:
+                if sym_idx >= 0:
+                    exps = tuple(
+                        _ZERO if i == sym_idx else e
+                        for i, e in enumerate(exps)
+                    )
+                matched[exps] = matched.get(exps, _ZERO) + coeff
+        return Poly._build(self.atoms, matched)
+
+    def free_symbols(self) -> frozenset:
+        out = frozenset()
+        for atom in self.atoms:
+            out |= atom.free_symbols()
+        return out
+
+    # -- conversion & evaluation ---------------------------------------
+    def to_expr(self) -> Expr:
+        """Rebuild the canonical ``Expr`` tree (equal to ``expand``)."""
+        parts = []
+        for coeff, exps in self.terms:
+            factors = [Const(coeff)]
+            factors.extend(
+                Pow.of(atom, Const(e))
+                for atom, e in zip(self.atoms, exps) if e != 0
+            )
+            parts.append(Mul.of(*factors))
+        return Add.of(*parts) if parts else Const(0)
+
+    def evalf(self, bindings: Mapping = None) -> float:
+        """Evaluate to a float — bit-identical to ``to_expr().evalf``."""
+        b = _normalize_bindings(bindings)
+        if self._sym_atoms:
+            # all atoms are plain symbols: probe the dict directly and
+            # keep only the error path on the dispatching slow walk
+            # (float() of a float is the identity, so this is still
+            # bit-identical to Symbol._evalf)
+            try:
+                vals = [float(b[a]) for a in self.atoms]
+            except (KeyError, TypeError):
+                vals = [a._evalf(b) for a in self.atoms]
+        else:
+            vals = [a._evalf(b) for a in self.atoms]
+        plan = self._eval_plan()
+        if len(plan) == 1:
+            # a lone term rebuilds to a top-level Mul, which multiplies
+            # its coefficient *first* (Mul._evalf); inside an Add the
+            # residual term is unit-coefficient and the coefficient
+            # lands last — mirror both orders exactly
+            cf, idx_exps = plan[0]
+            total = cf
+            for i, ef in idx_exps:
+                total *= vals[i] if ef == 1.0 else vals[i] ** ef
+            return total
+        total = 0.0
+        for cf, idx_exps in plan:
+            t = None
+            for i, ef in idx_exps:
+                p = vals[i] if ef == 1.0 else vals[i] ** ef
+                t = p if t is None else t * p
+            total += cf if t is None else cf * t
+        return total
+
+    def _eval_plan(self):
+        # float-lowered terms: [(float coeff, ((atom_idx, float exp)...))]
+        if self._plan is None:
+            self._plan = tuple(
+                (float(coeff),
+                 tuple((i, float(e)) for i, e in enumerate(exps) if e != 0))
+                for coeff, exps in self.terms
+            )
+        return self._plan
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Poly):
+            return NotImplemented
+        return self.atoms == other.atoms and self.terms == other.terms
+
+    def __hash__(self) -> int:
+        return hash((self.atoms, self.terms))
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Poly({self.to_expr()!s})"
+
+
+def _term_sort_key(atom_keys, exps) -> tuple:
+    """Sort key of a flat term — equal to the ``sort_key`` of the
+    unit-coefficient tree term it rebuilds to, computed without
+    building the tree.  The constant term sorts first, matching the
+    leading ``const`` slot of a canonical ``Add``."""
+    parts = [(atom_keys[i], e) for i, e in enumerate(exps) if e != 0]
+    if not parts:
+        return (0,)
+    if len(parts) == 1:
+        key, e = parts[0]
+        if e == 1:
+            return key
+        return (2, key, _const_sort_key(e))
+    return (3, tuple(
+        (key, _const_sort_key(e) if e != 1 else (0, 1.0, (1, 1)))
+        for key, e in parts
+    ), 1.0, (1, 1))
+
+
+def _align(a: Poly, b: Poly):
+    """Merge two polys' atom tables; remap both term maps onto it."""
+    if a.atoms == b.atoms:
+        atoms = a.atoms
+        return atoms, dict((e, c) for c, e in a.terms), \
+            dict((e, c) for c, e in b.terms)
+    merged = sorted(set(a.atoms) | set(b.atoms),
+                    key=lambda atom: atom.sort_key())
+    index = {atom: i for i, atom in enumerate(merged)}
+    n = len(merged)
+
+    def remap(p: Poly):
+        slots = [index[atom] for atom in p.atoms]
+        out = {}
+        for coeff, exps in p.terms:
+            row = [_ZERO] * n
+            for slot, e in zip(slots, exps):
+                row[slot] = e
+            out[tuple(row)] = coeff
+        return out
+
+    return tuple(merged), remap(a), remap(b)
+
+
+def _atom_parts(expr: Expr) -> Tuple[Expr, Fraction]:
+    """Split a re-canonicalized atom power into (base atom, exponent)."""
+    if isinstance(expr, Pow) and isinstance(expr.exponent, Const):
+        return expr.base, expr.exponent.value
+    return expr, _ONE
+
+
+def _atom_degree(atom: Expr, sym: Symbol) -> Optional[Fraction]:
+    """Degree contribution of one unit of ``atom`` in ``sym``.
+
+    None marks atoms that are not polynomial-like in any symbol they
+    contain (mirrors ``_term_degree`` on the equivalent tree term).
+    """
+    if atom is sym:
+        return _ONE
+    if isinstance(atom, (Symbol, Const)):
+        return _ZERO
+    if isinstance(atom, (Max, Min, Ceil, Floor, Log)):
+        return None if sym in atom.free_symbols() else _ZERO
+    # Pow atoms (symbolic exponent) and Add atoms (unexpandable powers
+    # of sums) are non-posynomial outright — in *any* symbol — matching
+    # the treewalk's _term_degree
+    return None
+
+
+# ---------------------------------------------------------------------
+# Flattening: Expr -> Poly
+
+@lru_cache(maxsize=1024)
+def _flatten(expr: Expr) -> Poly:
+    if isinstance(expr, Const):
+        return Poly.const(expr.value)
+    if isinstance(expr, Symbol):
+        return Poly.atom(expr)
+    if isinstance(expr, Add):
+        acc = Poly.const(expr.const)
+        for term, coeff in expr.terms:
+            acc = acc.add(_flatten(term).scale(coeff))
+        return acc
+    if isinstance(expr, Mul):
+        acc = Poly.const(expr.coeff)
+        for base, exponent in expr.factors:
+            acc = acc.mul(_pow_poly(_flatten(base), exponent))
+        return acc
+    if isinstance(expr, Pow):
+        return _pow_poly(_flatten(expr.base), expr.exponent)
+    if isinstance(expr, (Max, Min)):
+        rebuilt = type(expr).of(*(expand(a) for a in expr.fargs))
+        return _atom_or_reflatten(expr, rebuilt)
+    if isinstance(expr, (Ceil, Floor, Log)):
+        rebuilt = type(expr).of(expand(expr.fargs[0]))
+        return _atom_or_reflatten(expr, rebuilt)
+    raise TypeError(f"cannot expand {type(expr).__name__}")
+
+
+def _atom_or_reflatten(original: Expr, rebuilt: Expr) -> Poly:
+    if rebuilt is original or type(rebuilt) is type(original):
+        return Poly.atom(rebuilt)
+    return _flatten(rebuilt)  # folded to something simpler
+
+
+def _pow_poly(base: Poly, exponent: Expr) -> Poly:
+    """``base ** exponent`` with the same expansion policy as the tree:
+    nonnegative integer powers distribute, monomials scale, everything
+    else stays an opaque atom over the expanded base."""
+    if isinstance(exponent, Const):
+        e = exponent.value
+        try:
+            return base.pow(e)
+        except ValueError:
+            # fractional/negative power of a sum: opaque atom over the
+            # expanded base, exactly like Pow.of(expanded_base, e)
+            return Poly.atom(base.to_expr(), e)
+    # symbolic exponent: expand it, then re-check (expansion can fold
+    # an exponent down to a constant, e.g. (x+1)*(x-1) - x*x)
+    eexp = expand(exponent)
+    if isinstance(eexp, Const):
+        return _pow_poly(base, eexp)
+    res = Pow.of(base.to_expr(), eexp)
+    if isinstance(res, Const):
+        return Poly.const(res.value)
+    if isinstance(res, Pow):
+        return Poly.atom(res)
+    return _flatten(res)
+
+
+# ---------------------------------------------------------------------
+# Public treewalk-compatible API (flat-powered)
 
 def expand(expr: Expr) -> Expr:
     """Distribute multiplication over addition, recursively.
@@ -48,76 +563,7 @@ def expand(expr: Expr) -> Expr:
     Powers with positive integer exponents over sums expand too:
     ``(a + b)**2 -> a**2 + 2*a*b + b**2``.
     """
-    expr = as_expr(expr)
-    if isinstance(expr, (Const, Symbol)):
-        return expr
-    if isinstance(expr, Add):
-        return Add.of(*(expand(arg) for arg in expr.args()))
-    if isinstance(expr, Pow):
-        base = expand(expr.base)
-        exponent = expand(expr.exponent)
-        if (
-            isinstance(base, Add)
-            and isinstance(exponent, Const)
-            and exponent.value.denominator == 1
-            and exponent.value >= 2
-        ):
-            n = int(exponent.value)
-            out = base
-            for _ in range(n - 1):
-                out = _mul_expand(out, base)
-            return out
-        return Pow.of(base, exponent)
-    if isinstance(expr, Mul):
-        parts = [expand(arg) for arg in expr.args()]
-        result = parts[0]
-        for part in parts[1:]:
-            result = _mul_expand(result, part)
-        return result
-    if isinstance(expr, Max):
-        return Max.of(*(expand(a) for a in expr.fargs))
-    if isinstance(expr, Min):
-        return Min.of(*(expand(a) for a in expr.fargs))
-    if isinstance(expr, (Ceil, Floor, Log)):
-        return type(expr).of(expand(expr.fargs[0]))
-    raise TypeError(f"cannot expand {type(expr).__name__}")
-
-
-def _mul_expand(a: Expr, b: Expr) -> Expr:
-    a_terms = a.args() if isinstance(a, Add) else (a,)
-    b_terms = b.args() if isinstance(b, Add) else (b,)
-    products = [Mul.of(x, y) for x in a_terms for y in b_terms]
-    return Add.of(*products)
-
-
-def _term_degree(term: Expr, sym: Symbol) -> Optional[Fraction]:
-    """Degree of a product-form term in ``sym``; None if non-posynomial."""
-    if isinstance(term, Const):
-        return Fraction(0)
-    if isinstance(term, Symbol):
-        return Fraction(1) if term == sym else Fraction(0)
-    if isinstance(term, Pow):
-        if not isinstance(term.exponent, Const):
-            return None
-        inner = _term_degree(term.base, sym)
-        if inner is None:
-            return None
-        return inner * term.exponent.value
-    if isinstance(term, Mul):
-        total = Fraction(0)
-        for base, exponent in term.factors:
-            if not isinstance(exponent, Const):
-                return None
-            inner = _term_degree(base, sym)
-            if inner is None:
-                return None
-            total += inner * exponent.value
-        return total
-    if isinstance(term, (Max, Min, Ceil, Floor, Log)):
-        if sym in term.free_symbols():
-            return None
-        return Fraction(0)
-    return None
+    return _flatten(as_expr(expr)).to_expr()
 
 
 def degree(expr: Expr, sym: Symbol) -> Fraction:
@@ -126,38 +572,40 @@ def degree(expr: Expr, sym: Symbol) -> Fraction:
     Raises ``ValueError`` when the expression is not a posynomial in
     ``sym`` (e.g. the symbol appears inside ``max`` or ``log``).
     """
-    expr = expand(as_expr(expr))
-    terms = expr.args() if isinstance(expr, Add) else (expr,)
-    best = None
-    for term in terms:
-        d = _term_degree(term, sym)
-        if d is None:
-            raise ValueError(f"{expr} is not polynomial-like in {sym}")
-        best = d if best is None else max(best, d)
-    return best if best is not None else Fraction(0)
+    return _flatten(as_expr(expr)).degree(sym)
 
 
 def degrees(expr: Expr) -> "dict[Symbol, Fraction]":
     """Per-symbol highest degree across all terms, in one expansion.
 
     Equivalent to ``{s: degree(expr, s) for s in expr.free_symbols()}``
-    but expands once instead of once per symbol — the per-op cost lint
+    but flattens once instead of once per symbol — the per-op cost lint
     (``repro.check.costs``) queries every symbol of every op formula.
     Raises ``ValueError`` when any term is not posynomial in a symbol
     it contains.
     """
-    expr = expand(as_expr(expr))
-    terms = expr.args() if isinstance(expr, Add) else (expr,)
+    p = _flatten(as_expr(expr))
     out: dict = {}
-    for term in terms:
-        for sym in term.free_symbols():
-            d = _term_degree(term, sym)
-            if d is None:
-                raise ValueError(f"{expr} is not polynomial-like in {sym}")
-            if d > out.get(sym, Fraction(0)):
-                out[sym] = d
-    for sym in expr.free_symbols():
-        out.setdefault(sym, Fraction(0))
+    contrib = {a: {} for a in p.atoms}
+    free = p.free_symbols()
+    for sym in free:
+        best = None
+        for coeff, exps in p.terms:
+            d = _ZERO
+            for atom, e in zip(p.atoms, exps):
+                if e == 0:
+                    continue
+                unit = contrib[atom].get(sym)
+                if sym not in contrib[atom]:
+                    unit = _atom_degree(atom, sym)
+                    contrib[atom][sym] = unit
+                if unit is None:
+                    raise ValueError(
+                        f"{p.to_expr()} is not polynomial-like in {sym}"
+                    )
+                d += e * unit
+            best = d if best is None else max(best, d)
+        out[sym] = best if best is not None else _ZERO
     return out
 
 
@@ -226,19 +674,7 @@ def coefficient(expr: Expr, sym: Symbol, power) -> Expr:
     ``power`` may be an int or Fraction (e.g. ``Fraction(1, 2)`` for the
     ``sqrt`` coefficient).
     """
-    power = Fraction(power)
-    expr = expand(as_expr(expr))
-    terms = expr.args() if isinstance(expr, Add) else (expr,)
-    matched = []
-    for term in terms:
-        d = _term_degree(term, sym)
-        if d is None:
-            raise ValueError(f"{expr} is not polynomial-like in {sym}")
-        if d == power:
-            matched.append(Mul.of(term, Pow.of(sym, Const(-power))))
-    if not matched:
-        return Const(0)
-    return Add.of(*matched)
+    return _flatten(as_expr(expr)).coefficient(sym, power).to_expr()
 
 
 def leading_term(expr: Expr, sym: Symbol) -> Expr:
@@ -254,17 +690,123 @@ def asymptotic_ratio(numerator: Expr, denominator: Expr, sym: Symbol) -> Expr:
     when the numerator dominates (the limit is infinite); otherwise
     returns the (possibly symbolic) ratio of leading coefficients.
     """
-    num = expand(as_expr(numerator))
-    den = expand(as_expr(denominator))
-    dn = degree(num, sym)
-    dd = degree(den, sym)
+    num = _flatten(as_expr(numerator))
+    den = _flatten(as_expr(denominator))
+    dn = num.degree(sym)
+    dd = den.degree(sym)
     if dn < dd:
         return Const(0)
     if dn > dd:
         raise OverflowError(
-            f"limit of ({num})/({den}) in {sym} diverges (degree {dn} > {dd})"
+            f"limit of ({num.to_expr()})/({den.to_expr()}) in {sym} "
+            f"diverges (degree {dn} > {dd})"
         )
     return Mul.of(
-        coefficient(num, sym, dn),
-        Pow.of(coefficient(den, sym, dd), Const(-1)),
+        num.coefficient(sym, dn).to_expr(),
+        Pow.of(den.coefficient(sym, dd).to_expr(), Const(-1)),
     )
+
+
+# ---------------------------------------------------------------------
+# Treewalk oracles — the pre-flat recursive implementations, kept as
+# independent references for the property-based equivalence suite.
+
+def _expand_treewalk(expr: Expr) -> Expr:
+    expr = as_expr(expr)
+    if isinstance(expr, (Const, Symbol)):
+        return expr
+    if isinstance(expr, Add):
+        return Add.of(*(_expand_treewalk(arg) for arg in expr.args()))
+    if isinstance(expr, Pow):
+        base = _expand_treewalk(expr.base)
+        exponent = _expand_treewalk(expr.exponent)
+        if (
+            isinstance(base, Add)
+            and isinstance(exponent, Const)
+            and exponent.value.denominator == 1
+            and exponent.value >= 2
+        ):
+            n = int(exponent.value)
+            out = base
+            for _ in range(n - 1):
+                out = _mul_expand(out, base)
+            return out
+        return Pow.of(base, exponent)
+    if isinstance(expr, Mul):
+        parts = [_expand_treewalk(arg) for arg in expr.args()]
+        result = parts[0]
+        for part in parts[1:]:
+            result = _mul_expand(result, part)
+        return result
+    if isinstance(expr, Max):
+        return Max.of(*(_expand_treewalk(a) for a in expr.fargs))
+    if isinstance(expr, Min):
+        return Min.of(*(_expand_treewalk(a) for a in expr.fargs))
+    if isinstance(expr, (Ceil, Floor, Log)):
+        return type(expr).of(_expand_treewalk(expr.fargs[0]))
+    raise TypeError(f"cannot expand {type(expr).__name__}")
+
+
+def _mul_expand(a: Expr, b: Expr) -> Expr:
+    a_terms = a.args() if isinstance(a, Add) else (a,)
+    b_terms = b.args() if isinstance(b, Add) else (b,)
+    products = [Mul.of(x, y) for x in a_terms for y in b_terms]
+    return Add.of(*products)
+
+
+def _term_degree(term: Expr, sym: Symbol) -> Optional[Fraction]:
+    """Degree of a product-form term in ``sym``; None if non-posynomial."""
+    if isinstance(term, Const):
+        return Fraction(0)
+    if isinstance(term, Symbol):
+        return Fraction(1) if term == sym else Fraction(0)
+    if isinstance(term, Pow):
+        if not isinstance(term.exponent, Const):
+            return None
+        inner = _term_degree(term.base, sym)
+        if inner is None:
+            return None
+        return inner * term.exponent.value
+    if isinstance(term, Mul):
+        total = Fraction(0)
+        for base, exponent in term.factors:
+            if not isinstance(exponent, Const):
+                return None
+            inner = _term_degree(base, sym)
+            if inner is None:
+                return None
+            total += inner * exponent.value
+        return total
+    if isinstance(term, (Max, Min, Ceil, Floor, Log)):
+        if sym in term.free_symbols():
+            return None
+        return Fraction(0)
+    return None
+
+
+def _degree_treewalk(expr: Expr, sym: Symbol) -> Fraction:
+    expr = _expand_treewalk(as_expr(expr))
+    terms = expr.args() if isinstance(expr, Add) else (expr,)
+    best = None
+    for term in terms:
+        d = _term_degree(term, sym)
+        if d is None:
+            raise ValueError(f"{expr} is not polynomial-like in {sym}")
+        best = d if best is None else max(best, d)
+    return best if best is not None else Fraction(0)
+
+
+def _coefficient_treewalk(expr: Expr, sym: Symbol, power) -> Expr:
+    power = Fraction(power)
+    expr = _expand_treewalk(as_expr(expr))
+    terms = expr.args() if isinstance(expr, Add) else (expr,)
+    matched = []
+    for term in terms:
+        d = _term_degree(term, sym)
+        if d is None:
+            raise ValueError(f"{expr} is not polynomial-like in {sym}")
+        if d == power:
+            matched.append(Mul.of(term, Pow.of(sym, Const(-power))))
+    if not matched:
+        return Const(0)
+    return Add.of(*matched)

@@ -5,8 +5,13 @@ The printer produces conventional infix notation, e.g.::
     16*h**2*l + 2*h*v
     b*p**(1/2)/(3.65*p**(1/2) + 64*b)
 
-Rendering is deterministic because expression canonicalization sorts
-terms and factors.
+Rendering is deterministic and stable across interning/construction
+order: the printer re-sorts sum terms and product factors by the
+canonical ``sort_key`` itself (injective over structurally distinct
+expressions — exact rational tiebreaks, no ``id()`` ingredients),
+rather than trusting the order the nodes happened to be built in.  For
+canonically-constructed expressions the re-sort is the identity, so
+printed goldens are unchanged.
 """
 
 from __future__ import annotations
@@ -58,7 +63,8 @@ def _power_str(base: Expr, exponent: Expr) -> str:
 def _product_str(coeff: Fraction, factors) -> str:
     numer_parts = []
     denom_parts = []
-    for base, exponent in factors:
+    for base, exponent in sorted(factors,
+                                 key=lambda be: be[0].sort_key()):
         if isinstance(exponent, Const) and exponent.value < 0:
             denom_parts.append(_power_str(base, Const(-exponent.value)))
         else:
@@ -95,7 +101,8 @@ def to_str(expr: Expr) -> str:
         return _product_str(expr.coeff, expr.factors)
     if isinstance(expr, Add):
         parts = []
-        for term, coeff in expr.terms:
+        for term, coeff in sorted(expr.terms,
+                                  key=lambda tc: tc[0].sort_key()):
             if isinstance(term, Mul):
                 text = _product_str(coeff * term.coeff, term.factors)
             elif coeff == 1:

@@ -1,0 +1,189 @@
+"""Unit tests for tape fusion (``fuse_tape``) and the codegen backend.
+
+The derived engines sit above the seed tape in a lattice — plain replay
+→ fused replay → generated source — and every rung must be bit-identical
+to the recursive ``evalf`` on scalar paths.  Fusion must also preserve
+the binding contract exactly: ``sym`` instructions never die in DCE.
+"""
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import BindingError, NumericError
+from repro.symbolic import (
+    Ceil,
+    CodegenExpr,
+    Floor,
+    Log,
+    Max,
+    Min,
+    compile_batch,
+    compile_expr,
+    fuse_tape,
+    sqrt,
+    symbols,
+)
+
+h, b, v = symbols("h b v")
+
+# opcodes, as documented by the tape format
+_SYM, _PPROD, _FMA = 1, 10, 11
+
+KITCHEN_SINK = (
+    16 * h**2 * 3
+    + 2 * h * v
+    + Max.of(h, 2 * b)
+    + Min.of(h, v)
+    + Ceil.of(h / b)
+    + Floor.of(v / 3)
+    + Log.of(h)
+    + sqrt(h)
+    + 1 / h
+    - b / 7
+)
+
+BINDINGS = (
+    {h: 512, b: 96, v: 10000},
+    {h: 3, b: 1, v: 7},
+    {h: 2.5, b: 0.5, v: 1.0},
+)
+
+
+class TestFuseTape:
+    def test_fusion_shrinks_the_kitchen_sink(self):
+        prog = compile_expr(KITCHEN_SINK)
+        fused = prog.fused()
+        assert len(fused.code) < len(prog.code)
+        assert any(op in (_PPROD, _FMA) for op, _ in fused.code)
+
+    def test_fused_replay_bit_identical(self):
+        prog = compile_expr(KITCHEN_SINK)
+        fused = prog.fused()
+        for binding in BINDINGS:
+            assert fused(binding) == prog(binding)
+            assert fused(binding) == KITCHEN_SINK.evalf(binding)
+
+    def test_power_becomes_a_power_product(self):
+        prog = compile_expr(h**2 * b)
+        fused = prog.fused()
+        opcodes = [op for op, _ in fused.code]
+        assert _PPROD in opcodes
+        payload = fused.code[opcodes.index(_PPROD)][1]
+        coeff, factors = payload
+        assert coeff == 1.0
+        # exponent 1 is carried as None, constant exponents as floats
+        assert {exp for _base, exp in factors} <= {None, 2.0}
+
+    def test_sum_with_product_term_becomes_fma(self):
+        # an _ADD is rewritten to fma only when it can inline at least
+        # one single-use power product; a plain linear sum stays _ADD
+        # (its replay is already one multiply-accumulate per term)
+        prog = compile_expr(2 * h * b + 3 * v + 5)
+        fused = prog.fused()
+        opcodes = [op for op, _ in fused.code]
+        assert _FMA in opcodes
+        const, terms = fused.code[opcodes.index(_FMA)][1]
+        assert const == 5.0
+        assert sorted(coeff for coeff, _ref in terms) == [2.0, 3.0]
+        assert any(not isinstance(ref, int) for _c, ref in terms)
+
+        linear = compile_expr(2 * h + 3 * b + 5).fused()
+        assert _FMA not in [op for op, _ in linear.code]
+
+    def test_dce_never_kills_sym_instructions(self):
+        # the binding contract: every symbol the tape declares is still
+        # demanded after fusion, even when its value feeds only fused
+        # payload immediates
+        for expr in (KITCHEN_SINK, h**3, 2 * h + 3 * b, h * b * v):
+            prog = compile_expr(expr)
+            fused = prog.fused()
+            n_sym = sum(1 for op, _ in prog.code if op == _SYM)
+            assert sum(1 for op, _ in fused.code if op == _SYM) == n_sym
+            assert fused.symbols == prog.symbols
+
+    def test_fused_is_cached_and_idempotent(self):
+        prog = compile_expr(KITCHEN_SINK)
+        fused = prog.fused()
+        assert prog.fused() is fused
+        assert fused.fused() is fused
+
+    def test_fuse_tape_remaps_out_slots(self):
+        prog = compile_batch([h**2 * b, 2 * h + 3 * b])
+        code, outs = fuse_tape(prog.code, prog.out_slots)
+        assert len(outs) == 2
+        assert all(0 <= s < len(code) for s in outs)
+
+    def test_outputs_are_never_inlined_away(self):
+        # an output slot is demanded by the caller: fusion may rewrite
+        # it but must keep it addressable
+        prog = compile_batch([h * b, h * b + v])
+        fused = prog.fused()
+        for binding in BINDINGS:
+            assert fused(binding) == prog(binding)
+
+
+class TestCodegen:
+    def test_codegen_bit_identical(self):
+        prog = compile_expr(KITCHEN_SINK)
+        cg = prog.codegen()
+        for binding in BINDINGS:
+            assert cg(binding) == prog(binding)
+            assert cg(binding) == KITCHEN_SINK.evalf(binding)
+
+    def test_codegen_is_cached_and_fixed_point(self):
+        prog = compile_expr(KITCHEN_SINK)
+        cg = prog.codegen()
+        assert prog.codegen() is cg
+        assert cg.codegen() is cg
+        assert isinstance(cg, CodegenExpr)
+
+    def test_source_is_compilable_python(self):
+        cg = compile_expr(KITCHEN_SINK).codegen()
+        assert "def _tape_scalar" in cg.source
+        assert "def _tape_vector" in cg.source
+        compile(cg.source, "<test>", "exec")
+
+    def test_unbound_symbol_message_preserved(self):
+        cg = compile_expr(h + b).codegen()
+        with pytest.raises(BindingError, match="unbound symbol"):
+            cg({h: 1})
+
+    def test_vector_path_matches_scalar_loop(self):
+        prog = compile_batch([KITCHEN_SINK, h * v + b])
+        cg = prog.codegen()
+        cols = {
+            "h": np.array([2.0, 512.0, 7.5]),
+            "b": np.array([1.0, 96.0, 0.5]),
+            "v": np.array([3.0, 10000.0, 1.0]),
+        }
+        got = cg.eval_many(cols)
+        assert got.shape == (3, 2)
+        for i in range(3):
+            binding = {k: float(a[i]) for k, a in cols.items()}
+            want = prog(binding)
+            np.testing.assert_allclose(got[i], want, rtol=1e-9)
+
+    def test_pickle_roundtrip_regenerates_source(self):
+        cg = compile_expr(KITCHEN_SINK).codegen()
+        clone = pickle.loads(pickle.dumps(cg))
+        assert isinstance(clone, CodegenExpr)
+        assert clone.source == cg.source
+        for binding in BINDINGS:
+            assert clone(binding) == cg(binding)
+
+    def test_overflow_surfaces_as_numeric_error(self):
+        cg = compile_expr(h**8).codegen()
+        with pytest.raises(NumericError):
+            cg({h: 1e100})
+
+    def test_non_finite_output_guarded(self):
+        prog = compile_expr(Log.of(h) / Log.of(b))
+        cg = prog.codegen()
+        # log(1)/log(1) = 0/0 = nan must trip the guard, same as replay
+        with pytest.raises(NumericError):
+            cg({h: 1, b: 1})
+        with pytest.raises(NumericError):
+            prog({h: 1, b: 1})
