@@ -27,6 +27,7 @@ setup(
         "console_scripts": [
             "repro-report=repro.cli:main",
             "repro-lint=repro.check.cli:main",
+            "repro-obs=repro.obs.cli:main",
         ]
     },
 )

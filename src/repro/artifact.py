@@ -237,7 +237,8 @@ def store_from_args(args: argparse.Namespace) -> Optional[ResultStore]:
     return ResultStore(args.cache_dir or default_cache_dir())
 
 
-def run_cli(fn, *, debug: bool = False, stream=None) -> int:
+def run_cli(fn, *, debug: bool = False, stream=None,
+            recorder=None) -> int:
     """Run a CLI body with the shared error policy and exit codes.
 
     * :class:`~repro.errors.RunInterrupted` (graceful drain after
@@ -246,19 +247,31 @@ def run_cli(fn, *, debug: bool = False, stream=None) -> int:
       rendered message on stderr, exit :data:`~repro.errors.EXIT_ERROR`
       (1) — unless ``debug``, which re-raises for the full traceback;
     * success → the body's return code (or 0).
+
+    A :class:`~repro.obs.history.RunRecorder` passed as ``recorder``
+    gets ``finish(exit_code)`` on every path — success, graceful
+    interrupt, rendered error, and the ``debug`` re-raise — so each
+    CLI run lands in the persistent run history regardless of outcome.
     """
     stream = stream if stream is not None else sys.stderr
+
+    def finish(code: int) -> int:
+        if recorder is not None:
+            recorder.finish(code)
+        return code
+
     try:
         code = fn()
-        return EXIT_OK if code is None else code
+        return finish(EXIT_OK if code is None else code)
     except RunInterrupted as error:
         print(render_error(error), file=stream)
-        return EXIT_RESUMABLE
+        return finish(EXIT_RESUMABLE)
     except ReproError as error:
         if debug:
+            finish(EXIT_ERROR)
             raise
         print(render_error(error), file=stream)
-        return EXIT_ERROR
+        return finish(EXIT_ERROR)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -286,6 +299,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.trace or args.metrics:
         obs.enable()
 
+    # built before the journal opens so a --resume run can still read
+    # the interrupted run's history id from <out>/.runstate/
+    recorder = obs.RunRecorder(
+        "repro.artifact",
+        config={"out": args.out, "configs": args.configs,
+                "max_workers": args.max_workers,
+                "resume": bool(args.resume),
+                "trace": bool(args.trace)},
+        run_dir=args.out,
+        resume=args.resume,
+    )
+
     def body() -> int:
         configs = (parse_configs(args.configs)
                    if args.configs else DEFAULT_CONFIGS)
@@ -310,7 +335,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(obs.summary())
         return EXIT_OK
 
-    return run_cli(body, debug=args.debug)
+    return run_cli(body, debug=args.debug, recorder=recorder)
 
 
 if __name__ == "__main__":  # pragma: no cover

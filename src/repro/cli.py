@@ -120,6 +120,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if observing:
         obs.enable()
 
+    recorder = obs.RunRecorder(
+        "repro-report",
+        config={"exhibit": args.exhibit, "csv": bool(args.csv),
+                "max_workers": args.max_workers,
+                "resume": bool(args.resume),
+                "trace": bool(args.trace)},
+        run_dir=args.run_dir,
+        resume=args.resume,
+    )
+
     def body() -> int:
         if args.exhibit == "describe":
             from .reports import describe_domain
@@ -182,7 +192,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(obs.summary(), file=sys.stderr)
         return 0
 
-    return run_cli(body, debug=args.debug)
+    return run_cli(body, debug=args.debug, recorder=recorder)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -23,6 +23,18 @@ looked up before dispatch and stored after success.  Every decision is
 counted in :mod:`repro.obs` metrics (``exec.tasks.*``, ``exec.pool.*``)
 and the run is wrapped in spans so ``--trace`` shows the schedule.
 
+**Cross-process observability**: each pool dispatch ships a trace
+context (run id, parent span id, enabled flag, flow id) through the
+:func:`repro.exec.tasks.run_traced` worker shim.  The worker runs a
+buffering tracer plus a delta-capturing metrics registry and returns
+completed spans and metric deltas alongside the result; the parent
+merges them — worker spans land on their own pid track (clamped into
+the parent-side dispatch window), dispatch→worker pairs are linked by
+flow ids, and worker counts fold into the process registry.  Cache
+hits, journal replays, retries, timeouts, and failures are all
+recorded as outcome-tagged ``exec.task`` spans, so a merged
+``--trace`` shows the whole schedule including what *didn't* run.
+
 Two resilience hooks make whole runs (not just tasks) fault-tolerant:
 
 * a :class:`~repro.exec.journal.RunJournal` — every task outcome is
@@ -39,7 +51,9 @@ Two resilience hooks make whole runs (not just tasks) fault-tolerant:
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass, field
 from typing import (
@@ -58,6 +72,7 @@ from ..errors import ReproError, RunInterrupted
 from .journal import RunJournal
 from .signals import ignore_interrupts_in_worker
 from .store import ResultStore
+from .tasks import run_traced
 
 __all__ = ["Task", "TaskResult", "ExecError", "ExecutionEngine",
            "run_tasks"]
@@ -155,7 +170,7 @@ class _Pending:
     """Book-keeping for one not-yet-finished task."""
 
     __slots__ = ("task", "attempts", "not_before", "async_result",
-                 "deadline", "started")
+                 "deadline", "started", "submit_ns", "flow")
 
     def __init__(self, task: Task):
         self.task = task
@@ -164,6 +179,8 @@ class _Pending:
         self.async_result = None
         self.deadline = float("inf")
         self.started = 0.0
+        self.submit_ns = 0          # obs clock at dispatch
+        self.flow = None            # flow id linking dispatch→worker
 
 
 def _toposort(tasks: Sequence[Task]) -> List[Task]:
@@ -227,6 +244,9 @@ class ExecutionEngine:
         self._pool_restarts = 0
         self._on_result: Optional[Callable[[Task, TaskResult],
                                            Optional[Mapping]]] = None
+        self._run_id: Optional[str] = None
+        self._run_span: Optional[obs.Span] = None
+        self._flow_ids = itertools.count(1)
 
     # -- public API ----------------------------------------------------
     def run(self, tasks: Sequence[Task],
@@ -250,8 +270,13 @@ class ExecutionEngine:
         order = _toposort(tasks)
         results: Dict[str, TaskResult] = {}
         self._on_result = on_result
-        with obs.span("exec.run", "exec", tasks=len(order),
-                      max_workers=self.max_workers):
+        self._run_id = os.urandom(8).hex()
+        run_span = obs.span("exec.run", "exec", tasks=len(order),
+                            max_workers=self.max_workers,
+                            run=self._run_id)
+        with run_span:
+            self._run_span = (run_span
+                              if isinstance(run_span, obs.Span) else None)
             try:
                 if self.max_workers == 0:
                     self._run_serial(order, results)
@@ -260,6 +285,7 @@ class ExecutionEngine:
             finally:
                 self._shutdown_pool()
                 self._on_result = None
+                self._run_span = None
                 if self.journal is not None:
                     self.journal.checkpoint()
         failed = [r for r in results.values() if not r.ok]
@@ -306,6 +332,7 @@ class ExecutionEngine:
         value = self.journal.replay(task.id, task.key)
         if RunJournal.is_missing(value):
             return None
+        self._record_outcome_span(task, "replayed")
         return TaskResult(id=task.id, value=value, source="journal")
 
     # -- shared helpers ------------------------------------------------
@@ -323,7 +350,65 @@ class ExecutionEngine:
         if value is sentinel:
             return None
         _CACHE_HITS.inc()
+        self._record_outcome_span(task, "cache")
         return TaskResult(id=task.id, value=value, source="cache")
+
+    # -- trace propagation ---------------------------------------------
+    def _trace_ctx(self, p: "_Pending") -> Dict[str, Any]:
+        """The per-dispatch trace context shipped with a pool task."""
+        return {
+            "enabled": obs.is_enabled(),
+            "run_id": self._run_id,
+            "parent_span": (self._run_span.id
+                            if self._run_span is not None else None),
+            "task": p.task.id,
+            "attempt": p.attempts,
+            "flow": p.flow,
+        }
+
+    def _record_outcome_span(self, task: Task, outcome: str, *,
+                             start_ns: Optional[int] = None,
+                             end_ns: Optional[int] = None,
+                             error: Optional[BaseException] = None,
+                             **extra) -> None:
+        """Tag a task decision (cache hit, replay, retry, timeout,
+        failure) as a completed span so it is visible in the trace."""
+        if not obs.is_enabled():
+            return
+        now = obs.monotonic_ns()
+        obs.TRACER.record_complete(
+            "exec.task", "exec",
+            start_ns=now if start_ns is None else start_ns,
+            end_ns=now if end_ns is None else end_ns,
+            error=type(error).__name__ if error is not None else None,
+            parent=self._run_span,
+            task=task.id, outcome=outcome, **extra,
+        )
+
+    def _absorb_worker_payload(self, p: "_Pending", raw: Any,
+                               end_ns: int
+                               ) -> Tuple[Any, Optional[BaseException]]:
+        """Merge a worker shim payload; returns (value, worker error).
+
+        Spans come home as plain records and are ingested onto the
+        worker's own pid track, clamped into the parent-side
+        (submit, collect) window so per-task wall times reconcile with
+        the parent dispatch span; metric deltas are folded into the
+        process registry.  A raw (non-shim) payload passes through —
+        the serial fallback and tests that stub the pool never wrap.
+        """
+        if not (isinstance(raw, dict) and raw.get("__repro_worker__")):
+            return raw, None
+        delta = raw.get("metrics")
+        if delta:
+            obs.REGISTRY.merge_delta(delta)
+        records = raw.get("spans")
+        if records and obs.is_enabled():
+            obs.TRACER.ingest(
+                records, pid=raw.get("pid"),
+                window=(p.submit_ns, end_ns), parent=self._run_span,
+            )
+        return raw.get("value"), raw.get("error")
 
     def _store_result(self, task: Task, value: Any) -> None:
         if self.store is not None and task.key is not None:
@@ -344,14 +429,17 @@ class ExecutionEngine:
         retries = self._effective_retries(task)
         attempts = 0
         start = time.perf_counter()
-        with obs.span("exec.task", "exec", task=task.id, mode="serial"):
+        with obs.span("exec.task", "exec", task=task.id,
+                      mode="serial") as span:
             while True:
                 attempts += 1
+                attempt_ns = obs.monotonic_ns()
                 try:
                     value = self._validated(
                         task, task.fn(*task.args, **task.kwargs)
                     )
                     _COMPLETED.inc()
+                    span.set(outcome="ok", attempts=attempts)
                     return TaskResult(
                         id=task.id, value=value, source="serial",
                         attempts=attempts,
@@ -360,12 +448,18 @@ class ExecutionEngine:
                 except Exception as error:
                     if attempts > retries:
                         _FAILURES.inc()
+                        span.set(outcome="failed", attempts=attempts,
+                                 error=type(error).__name__)
                         return TaskResult(
                             id=task.id, error=error, source="serial",
                             attempts=attempts,
                             duration=time.perf_counter() - start,
                         )
                     _RETRIES.inc()
+                    self._record_outcome_span(
+                        task, "retried", start_ns=attempt_ns,
+                        error=error, mode="serial", attempt=attempts,
+                    )
                     time.sleep(self.backoff * (2 ** (attempts - 1)))
 
     def _deps_ok(self, task: Task,
@@ -467,13 +561,16 @@ class ExecutionEngine:
             task = p.task
             start = time.perf_counter()
             with obs.span("exec.task", "exec", task=task.id,
-                          mode="serial-fallback"):
+                          mode="serial-fallback") as span:
                 try:
                     value = self._validated(
                         task, task.fn(*task.args, **task.kwargs)
                     )
+                    span.set(outcome="ok")
                 except Exception as error:
                     _FAILURES.inc()
+                    span.set(outcome="failed",
+                             error=type(error).__name__)
                     finish(TaskResult(
                         id=task.id, error=error, source="serial",
                         attempts=p.attempts + 1,
@@ -506,13 +603,20 @@ class ExecutionEngine:
             task = p.task
             p.attempts += 1
             p.started = time.monotonic()
+            p.submit_ns = obs.monotonic_ns()
+            p.flow = next(self._flow_ids)
             timeout = self._effective_timeout(task)
             p.deadline = (p.started + timeout
                           if timeout is not None else float("inf"))
             _SUBMITTED.inc()
             try:
+                # every pool task travels through the run_traced shim
+                # with a trace context; the worker sends spans + metric
+                # deltas home alongside the value
                 p.async_result = self._pool.apply_async(
-                    task.fn, task.args, dict(task.kwargs)
+                    run_traced,
+                    (self._trace_ctx(p), task.fn, task.args,
+                     dict(task.kwargs)),
                 )
             except Exception as error:
                 # dispatch itself failed (unpicklable fn, dead pool):
@@ -524,13 +628,42 @@ class ExecutionEngine:
 
         def collect(p: _Pending) -> None:
             task = p.task
+            end_ns = obs.monotonic_ns()
             try:
-                value = self._validated(task, p.async_result.get(0))
+                raw = p.async_result.get(0)
             except Exception as error:
+                # transport-level failure: the payload (and its spans)
+                # died with the worker or could not be unpickled
                 _WORKER_ERRORS.inc()
+                self._record_outcome_span(
+                    task, "worker_error", start_ns=p.submit_ns,
+                    end_ns=end_ns, error=error, mode="pool",
+                    attempt=p.attempts, flow=p.flow, flow_role="out",
+                )
                 register_failure(p, error)
                 return
+            value, worker_error = self._absorb_worker_payload(
+                p, raw, end_ns)
+            if worker_error is None:
+                try:
+                    value = self._validated(task, value)
+                except Exception as error:
+                    worker_error = error
+            if worker_error is not None:
+                _WORKER_ERRORS.inc()
+                self._record_outcome_span(
+                    task, "worker_error", start_ns=p.submit_ns,
+                    end_ns=end_ns, error=worker_error, mode="pool",
+                    attempt=p.attempts, flow=p.flow, flow_role="out",
+                )
+                register_failure(p, worker_error)
+                return
             _COMPLETED.inc()
+            self._record_outcome_span(
+                task, "ok", start_ns=p.submit_ns, end_ns=end_ns,
+                mode="pool", attempt=p.attempts, flow=p.flow,
+                flow_role="out",
+            )
             self._store_result(task, value)
             finish(TaskResult(
                 id=task.id, value=value, source="pool",
@@ -640,10 +773,17 @@ class ExecutionEngine:
                         other.async_result = None
                         other.attempts -= 1
                         waiting.insert(0, other.task.id)
-                    register_failure(p, TimeoutError(
+                    timeout_error = TimeoutError(
                         f"task {tid!r} exceeded "
                         f"{self._effective_timeout(p.task):g}s"
-                    ))
+                    )
+                    self._record_outcome_span(
+                        p.task, "timeout", start_ns=p.submit_ns,
+                        error=timeout_error, mode="pool",
+                        attempt=p.attempts, flow=p.flow,
+                        flow_role="out",
+                    )
+                    register_failure(p, timeout_error)
                     break
             if not progressed:
                 time.sleep(_POLL_INTERVAL)

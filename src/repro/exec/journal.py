@@ -34,10 +34,42 @@ from .. import __version__, obs
 from ..errors import ReproIOError
 from ..ioutil import atomic_write_bytes, sha256_file
 
-__all__ = ["RunJournal", "STATE_DIRNAME"]
+__all__ = ["RunJournal", "STATE_DIRNAME",
+           "history_parent", "link_history_run"]
 
 #: run-state directory inside a run dir (excluded from output diffs)
 STATE_DIRNAME = ".runstate"
+
+#: state file linking a run dir to its run-history record id
+_HISTORY_LINK = "history_run"
+
+
+def _history_link_path(run_dir: str) -> str:
+    return os.path.join(run_dir, STATE_DIRNAME, _HISTORY_LINK)
+
+
+def history_parent(run_dir: str) -> Optional[str]:
+    """The history run id the last run of ``run_dir`` recorded, if any.
+
+    Read by :class:`repro.obs.history.RunRecorder` *before* the journal
+    is opened, so a ``--resume`` run can chain its history record to
+    the interrupted run it continues.
+    """
+    try:
+        with open(_history_link_path(run_dir), "r",
+                  encoding="utf-8") as handle:
+            run_id = handle.read().strip()
+    except OSError:
+        return None
+    return run_id or None
+
+
+def link_history_run(run_dir: str, run_id: str) -> None:
+    """Record ``run_id`` as this run dir's history record (atomic)."""
+    from ..ioutil import atomic_write_text
+
+    os.makedirs(os.path.join(run_dir, STATE_DIRNAME), exist_ok=True)
+    atomic_write_text(_history_link_path(run_dir), run_id + "\n")
 
 _RECORDS = obs.counter("resilience.journal.records")
 _REPLAYED = obs.counter("resilience.journal.skipped")

@@ -17,7 +17,10 @@ version — see :func:`repro.exec.store.content_key`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import os
+import pickle
+from typing import Any, Callable, Dict, List, Mapping, Optional, \
+    Sequence, Tuple
 
 from ..errors import error_context
 from ..graph.serialize import structural_hash
@@ -28,6 +31,7 @@ __all__ = [
     "artifact_config", "artifact_config_key",
     "report_exhibit", "report_exhibit_key",
     "sweep_shard", "registry_fingerprint",
+    "run_traced",
 ]
 
 #: memoized per-domain structural hashes (building + hashing a large
@@ -147,3 +151,78 @@ def sweep_shard_key(key: str, sizes: Sequence[float], subbatch: int,
     return content_key("sweep_shard", key, [float(s) for s in sizes],
                        subbatch, include_footprint, engine,
                        domain_hash(key))
+
+
+# -- cross-process observability shim ----------------------------------------
+
+def _picklable_error(error: BaseException) -> BaseException:
+    """The error itself if it survives a pickle round trip, else a
+    summary that does (the payload must cross the pool boundary)."""
+    try:
+        pickle.loads(pickle.dumps(error))
+        return error
+    except Exception:
+        return RuntimeError(
+            f"{type(error).__name__}: {error} "
+            "(original exception was not picklable)"
+        )
+
+
+def run_traced(ctx: Mapping[str, Any], fn: Callable[..., Any],
+               args: Tuple, kwargs: Mapping[str, Any]) -> Dict[str, Any]:
+    """Worker-side wrapper: run one task under local observability.
+
+    The engine ships every pool task through this shim with a *trace
+    context* — run id, parent span id, enabled flag, task id, attempt,
+    flow id.  The worker runs a buffering tracer (cleared per task,
+    records exported as plain dicts) and a delta-capturing metrics
+    registry (baseline snapshot at task start), and returns the
+    completed spans and metric deltas *alongside* the result::
+
+        {"__repro_worker__": True, "pid": ..., "value"/"error": ...,
+         "spans": [Span.to_record()...], "metrics": delta}
+
+    Exceptions are caught and shipped home in the payload (made
+    picklable first), so a failing task still contributes its spans
+    and counts to the merged trace.  Metric deltas are captured even
+    when tracing is disabled — metrics are always on, and without the
+    delta every count a worker accumulates would die with its process.
+    """
+    from .. import obs
+
+    enabled = bool(ctx.get("enabled"))
+    tracer = obs.TRACER
+    baseline = obs.REGISTRY.state()
+    if enabled:
+        # fork-started workers inherit the parent's recorded spans and
+        # enabled flag; this worker traces one task at a time, so a
+        # clear-at-start / drain-at-end cycle is safe
+        tracer.clear()
+        tracer.enable()
+    value: Any = None
+    error: Optional[BaseException] = None
+    try:
+        if enabled:
+            with obs.span("exec.worker_task", "exec",
+                          task=ctx.get("task"), run=ctx.get("run_id"),
+                          attempt=ctx.get("attempt"),
+                          flow=ctx.get("flow"), flow_role="in"):
+                value = fn(*args, **kwargs)
+        else:
+            value = fn(*args, **kwargs)
+    except Exception as exc:
+        error = _picklable_error(exc)
+        value = None
+    records: List[Dict[str, Any]] = []
+    if enabled:
+        tracer.disable()
+        records = [s.to_record() for s in tracer.spans()]
+        tracer.clear()
+    return {
+        "__repro_worker__": True,
+        "pid": os.getpid(),
+        "value": value,
+        "error": error,
+        "spans": records,
+        "metrics": obs.REGISTRY.delta_since(baseline),
+    }

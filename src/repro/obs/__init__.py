@@ -40,6 +40,10 @@ from .metrics import (
     counter,
     gauge,
     histogram,
+    histogram_percentiles,
+    reset,
+    restore_state,
+    save_state,
     snapshot,
 )
 from .tracer import (
@@ -59,9 +63,17 @@ from .export import (
     chrome_trace,
     jsonl_events,
     metrics_summary_table,
+    openmetrics_text,
     span_summary_table,
     write_chrome_trace,
     write_jsonl,
+    write_openmetrics,
+)
+from .history import (
+    RunHistory,
+    RunRecorder,
+    history_path,
+    span_rollup,
 )
 
 __all__ = [
@@ -71,9 +83,13 @@ __all__ = [
     # metrics
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "REGISTRY",
     "counter", "gauge", "histogram", "snapshot",
+    "histogram_percentiles", "reset", "save_state", "restore_state",
     # export
     "chrome_trace", "write_chrome_trace", "jsonl_events", "write_jsonl",
     "span_summary_table", "metrics_summary_table",
+    "openmetrics_text", "write_openmetrics",
+    # history
+    "RunHistory", "RunRecorder", "history_path", "span_rollup",
     # module-level helpers
     "summary", "clear",
 ]

@@ -21,14 +21,22 @@ Design constraints, in priority order:
   relative to the work inside a span).
 * **monotonic** — timestamps come from ``time.perf_counter_ns``;
   wall-clock adjustments can never produce negative durations.
+* **mergeable across processes** — every span carries the pid it was
+  recorded in plus a process-unique id, exports to a plain picklable
+  record (:meth:`Span.to_record`), and a parent tracer can
+  :meth:`~Tracer.ingest` a worker's records into its own stream (the
+  exec engine ships a trace context to each pool task and merges the
+  returned spans, so worker time is no longer a blind spot).
 """
 
 from __future__ import annotations
 
 import functools
+import itertools
+import os
 import threading
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "Span",
@@ -58,13 +66,15 @@ class Span:
     :meth:`Tracer.span`, never directly.
     """
 
-    __slots__ = ("name", "category", "start_ns", "end_ns", "thread_id",
-                 "thread_name", "depth", "parent", "args", "error",
-                 "_tracer")
+    __slots__ = ("id", "pid", "name", "category", "start_ns", "end_ns",
+                 "thread_id", "thread_name", "depth", "parent", "args",
+                 "error", "_tracer")
 
     def __init__(self, tracer: "Tracer", name: str, category: str,
                  args: Dict[str, object]):
         self._tracer = tracer
+        self.id = next(tracer._ids)
+        self.pid = os.getpid()
         self.name = name
         self.category = category
         self.args = args
@@ -91,6 +101,25 @@ class Span:
     @property
     def duration_s(self) -> float:
         return self.duration_ns / 1e9
+
+    # -- cross-process export ------------------------------------------
+    def to_record(self) -> Dict[str, object]:
+        """Plain picklable form (what pool workers send back)."""
+        return {
+            "id": self.id,
+            "pid": self.pid,
+            "name": self.name,
+            "cat": self.category,
+            "start_ns": self.start_ns,
+            "end_ns": (self.end_ns if self.end_ns is not None
+                       else monotonic_ns()),
+            "tid": self.thread_id,
+            "tname": self.thread_name,
+            "depth": self.depth,
+            "parent_id": self.parent.id if self.parent else None,
+            "args": dict(self.args),
+            "error": self.error,
+        }
 
     # -- context manager -----------------------------------------------
     def __enter__(self) -> "Span":
@@ -151,6 +180,9 @@ class Tracer:
         self._lock = threading.Lock()
         self._spans: List[Span] = []
         self._local = threading.local()
+        # span ids: process-unique under the GIL (itertools.count.next
+        # is a single C call); ids are remapped on cross-process ingest
+        self._ids = itertools.count(1)
 
     def _stack(self) -> List[Span]:
         stack = getattr(self._local, "stack", None)
@@ -169,6 +201,12 @@ class Tracer:
         with self._lock:
             self._spans = []
 
+    def reset(self, span_list: Optional[Sequence[Span]] = None) -> None:
+        """Replace the completed-span list (test isolation: snapshot
+        with :meth:`spans`, restore with :meth:`reset`)."""
+        with self._lock:
+            self._spans = list(span_list) if span_list else []
+
     # -- recording -----------------------------------------------------
     def span(self, name: str, category: str = "", **args):
         """Open a span; ``with tracer.span("sweep.point", size=512): ...``.
@@ -184,6 +222,83 @@ class Tracer:
         """Innermost open span on this thread (None outside any span)."""
         stack = self._stack()
         return stack[-1] if stack else None
+
+    def record_complete(self, name: str, category: str = "", *,
+                        start_ns: int, end_ns: int,
+                        error: Optional[str] = None,
+                        parent: Optional[Span] = None,
+                        **args) -> Optional[Span]:
+        """Append an already-timed span (no stack interaction).
+
+        The exec engine uses this for synthetic parent-side task spans
+        — a pool dispatch window, a cache hit, a retried attempt —
+        whose start/end were measured outside a ``with`` block.
+        Returns None (and records nothing) while disabled.
+        """
+        if not self.enabled:
+            return None
+        span = Span(self, name, category, args)
+        thread = threading.current_thread()
+        span.thread_id = thread.ident or 0
+        span.thread_name = thread.name
+        span.start_ns = start_ns
+        span.end_ns = max(end_ns, start_ns)
+        span.error = error
+        span.parent = parent
+        span.depth = parent.depth + 1 if parent is not None else 0
+        with self._lock:
+            self._spans.append(span)
+        return span
+
+    def ingest(self, records: Sequence[Dict[str, object]], *,
+               pid: Optional[int] = None,
+               window: Optional[Tuple[int, int]] = None,
+               parent: Optional[Span] = None) -> List[Span]:
+        """Merge a worker's exported span records into this tracer.
+
+        ``records`` is a list of :meth:`Span.to_record` dicts from
+        another process.  Ids are remapped into this tracer's sequence
+        (parent links preserved within the batch; batch roots are
+        linked to ``parent``).  With ``window`` — the parent-side
+        (submit_ns, collect_ns) pair — worker timestamps are shifted
+        (and, under clock skew, clamped) so every merged span lies
+        inside the parent's measurement window; on Linux
+        ``perf_counter_ns`` is the shared CLOCK_MONOTONIC, so the
+        shift is normally zero.
+        """
+        if not records:
+            return []
+        ordered = sorted(records, key=lambda r: r["id"])
+        shift = 0
+        if window is not None:
+            lo = min(int(r["start_ns"]) for r in ordered)
+            if lo < window[0]:
+                shift = window[0] - lo
+        by_old: Dict[object, Span] = {}
+        merged: List[Span] = []
+        base_depth = parent.depth + 1 if parent is not None else 0
+        for record in ordered:
+            span = Span(self, str(record["name"]),
+                        str(record.get("cat") or ""),
+                        dict(record.get("args") or {}))
+            span.pid = int(pid if pid is not None
+                           else record.get("pid") or 0)
+            span.start_ns = int(record["start_ns"]) + shift
+            span.end_ns = int(record["end_ns"]) + shift
+            if window is not None and span.end_ns > window[1]:
+                span.end_ns = max(window[1], span.start_ns)
+                span.start_ns = min(span.start_ns, span.end_ns)
+            span.thread_id = int(record.get("tid") or 0)
+            span.thread_name = str(record.get("tname") or "")
+            span.error = record.get("error")  # type: ignore[assignment]
+            old_parent = record.get("parent_id")
+            span.parent = by_old.get(old_parent, parent)
+            span.depth = int(record.get("depth") or 0) + base_depth
+            by_old[record["id"]] = span
+            merged.append(span)
+        with self._lock:
+            self._spans.extend(merged)
+        return merged
 
     # -- access --------------------------------------------------------
     def spans(self) -> List[Span]:

@@ -17,6 +17,31 @@ def update_golden(request):
     return request.config.getoption("--update-golden")
 
 
+@pytest.fixture(autouse=True)
+def _isolated_obs_state():
+    """Restore the global metrics registry + tracer around every test.
+
+    Counters like ``exec.tasks.completed`` are process-global, so
+    without this a test's assertion on an absolute count would depend
+    on which tests ran before it.  Snapshot-restore (rather than a
+    plain clear) keeps whatever the session accumulated so far intact
+    for tests that *want* the ambient state, while making every
+    delta-style assertion order-independent.
+    """
+    from repro import obs
+
+    metrics_state = obs.REGISTRY.state()
+    span_state = obs.TRACER.spans()
+    was_enabled = obs.is_enabled()
+    yield
+    obs.REGISTRY.restore(metrics_state)
+    obs.TRACER.reset(span_state)
+    if was_enabled:
+        obs.TRACER.enable()
+    else:
+        obs.TRACER.disable()
+
+
 @pytest.fixture(autouse=True, scope="session")
 def _isolated_result_store(tmp_path_factory):
     """Point the repro.exec result store at a per-session tmp dir.

@@ -51,6 +51,17 @@ def payload_ok(payload) -> bool:
     return isinstance(payload, dict) and "value" in payload
 
 
+def traced_payload(x):
+    """Well-behaved payload that records its own span + metrics, so
+    trace-merge tests can see worker-side instrumentation come home."""
+    from repro import obs
+
+    obs.counter("test.worker.calls").inc()
+    obs.histogram("test.worker.value").observe(float(x))
+    with obs.span("test.worker_body", "test", x=x):
+        return x * 2
+
+
 def touch(path):
     """Writes a marker file (dependency-ordering probe)."""
     with open(path, "w") as handle:

@@ -199,7 +199,9 @@ class TestChromeTrace:
     def test_empty_trace_is_still_valid(self):
         payload = chrome_trace([], MetricsRegistry())
         json.dumps(payload)
-        assert [e["ph"] for e in payload["traceEvents"]] == ["M"]
+        # metadata only (process name + sort index), nothing timed
+        assert payload["traceEvents"]
+        assert all(e["ph"] == "M" for e in payload["traceEvents"])
 
 
 class TestJsonl:

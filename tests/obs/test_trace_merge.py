@@ -1,0 +1,177 @@
+"""Cross-process trace propagation: worker spans in the merged trace.
+
+The engine ships a trace context with every pool dispatch, workers run
+a buffering tracer + delta-capturing metrics registry, and the parent
+merges what comes home: these tests check the merged picture — worker
+spans on their own pid tracks, nested inside the parent's dispatch
+window; metric deltas folded into the parent registry; faults visible
+as error-tagged spans; and structural determinism across pool widths.
+"""
+
+import json
+import os
+
+from repro import obs
+from repro.exec.engine import run_tasks, Task
+from repro.obs.export import chrome_trace
+
+from ..exec import _workers
+
+
+def _spans_named(name):
+    return [s for s in obs.spans() if s.name == name]
+
+
+def _run_traced(tasks, **kwargs):
+    obs.clear()
+    obs.enable()
+    try:
+        results = run_tasks(tasks, backoff=0.001, **kwargs)
+    finally:
+        obs.disable()
+    return results, obs.spans()
+
+
+class TestPoolMerge:
+    def test_worker_spans_land_on_worker_pids(self):
+        tasks = [Task(id=f"t{i}", fn=_workers.traced_payload,
+                      args=(i,)) for i in range(4)]
+        results, _ = _run_traced(tasks, max_workers=2)
+        assert all(results[t.id].value == i * 2
+                   for i, t in enumerate(tasks))
+
+        worker_spans = _spans_named("exec.worker_task")
+        assert len(worker_spans) == 4
+        parent_pid = os.getpid()
+        assert all(s.pid != parent_pid for s in worker_spans)
+        # the payload's own span comes home too, as a child
+        bodies = _spans_named("test.worker_body")
+        assert len(bodies) == 4
+        for body in bodies:
+            assert body.parent is not None
+            assert body.parent.name == "exec.worker_task"
+            assert body.pid == body.parent.pid
+
+    def test_worker_windows_nest_inside_parent_dispatch(self):
+        """Per-task wall times reconcile: each worker span fits inside
+        the parent-side exec.task span for the same task."""
+        tasks = [Task(id=f"t{i}", fn=_workers.traced_payload,
+                      args=(i,)) for i in range(3)]
+        _run_traced(tasks, max_workers=2)
+        dispatch = {s.args["task"]: s for s in _spans_named("exec.task")
+                    if s.args.get("outcome") == "ok"}
+        assert len(dispatch) == 3
+        for worker_span in _spans_named("exec.worker_task"):
+            parent_span = dispatch[worker_span.args["task"]]
+            assert worker_span.start_ns >= parent_span.start_ns
+            assert worker_span.end_ns <= parent_span.end_ns
+
+    def test_worker_metrics_merge_into_parent_registry(self):
+        baseline = obs.REGISTRY.state()
+        tasks = [Task(id=f"t{i}", fn=_workers.traced_payload,
+                      args=(i,)) for i in range(4)]
+        _run_traced(tasks, max_workers=2)
+        delta = obs.REGISTRY.delta_since(baseline)
+        assert delta["test.worker.calls"]["inc"] == 4
+        assert delta["test.worker.value"]["count"] == 4
+        # histogram content came along, not just the count
+        assert delta["test.worker.value"]["total"] == float(0 + 1 + 2 + 3)
+
+    def test_flow_events_pair_dispatch_with_worker(self):
+        tasks = [Task(id=f"t{i}", fn=_workers.traced_payload,
+                      args=(i,)) for i in range(2)]
+        _, span_list = _run_traced(tasks, max_workers=2)
+        payload = chrome_trace(span_list, obs.REGISTRY)
+        flows = [e for e in payload["traceEvents"]
+                 if e["ph"] in ("s", "f")]
+        starts = {e["id"] for e in flows if e["ph"] == "s"}
+        finishes = {e["id"] for e in flows if e["ph"] == "f"}
+        assert len(starts) == 2
+        assert starts == finishes      # every arrow lands
+        assert all(e.get("bp") == "e" for e in flows
+                   if e["ph"] == "f")
+        # the merged trace has at least two process tracks
+        pids = {e["pid"] for e in payload["traceEvents"]
+                if e["ph"] == "X"}
+        assert len(pids) >= 2
+
+
+class TestFaultVisibility:
+    def test_retried_and_failed_tasks_are_error_tagged(self):
+        tasks = [Task(id="bad", fn=_workers.raise_in_worker,
+                      args=(21,))]
+        results, _ = _run_traced(tasks, max_workers=2, retries=1)
+        assert results["bad"].ok          # serial fallback rescued it
+
+        # worker attempts came home with the error on the span
+        worker_spans = _spans_named("exec.worker_task")
+        assert len(worker_spans) == 2     # initial + 1 pool retry
+        assert all(s.error == "RuntimeError" for s in worker_spans)
+        # parent tagged each collected failure
+        outcomes = [s.args["outcome"] for s in _spans_named("exec.task")
+                    if "outcome" in s.args]
+        assert outcomes.count("worker_error") == 2
+        assert any(s.args.get("outcome") == "ok"
+                   and s.args.get("mode") == "serial-fallback"
+                   for s in _spans_named("exec.task"))
+
+    def test_timeout_is_a_tagged_span(self):
+        tasks = [Task(id="hang", fn=_workers.hang_in_worker,
+                      args=(5, 30.0), timeout=0.3, retries=0)]
+        results, _ = _run_traced(tasks, max_workers=2)
+        assert results["hang"].ok         # instant in the parent
+        timeouts = [s for s in _spans_named("exec.task")
+                    if s.args.get("outcome") == "timeout"]
+        assert len(timeouts) == 1
+        assert timeouts[0].error == "TimeoutError"
+
+    def test_corrupt_payload_is_a_tagged_span(self):
+        tasks = [Task(id="c", fn=_workers.corrupt_in_worker, args=(5,),
+                      retries=0, validate=_workers.payload_ok)]
+        results, _ = _run_traced(tasks, max_workers=2)
+        assert results["c"].ok
+        bad = [s for s in _spans_named("exec.task")
+               if s.args.get("outcome") == "worker_error"]
+        assert len(bad) == 1
+        assert bad[0].error == "ValueError"  # validator rejection
+
+
+def _structure(span_list):
+    """Pid-free structural signature of a merged trace: every span as
+    (name, parent name, outcome, error), canonically sorted."""
+    sig = []
+    for s in span_list:
+        sig.append((
+            s.name,
+            s.parent.name if s.parent is not None else None,
+            str(s.args.get("task", "")),
+            str(s.args.get("outcome", "")),
+            s.error or "",
+        ))
+    return sorted(sig)
+
+
+class TestDeterminism:
+    def test_same_structure_across_pool_widths(self):
+        """2-worker and 4-worker merged traces are structurally
+        identical for well-behaved tasks — only timings and pids may
+        differ."""
+        def batch():
+            return [Task(id=f"t{i}", fn=_workers.traced_payload,
+                         args=(i,)) for i in range(6)]
+
+        _, spans2 = _run_traced(batch(), max_workers=2)
+        _, spans4 = _run_traced(batch(), max_workers=4)
+        assert _structure(spans2) == _structure(spans4)
+
+    def test_chrome_trace_event_set_is_stable(self):
+        """Exporter ordering is deterministic: two exports of the same
+        span list serialize identically."""
+        tasks = [Task(id=f"t{i}", fn=_workers.traced_payload,
+                      args=(i,)) for i in range(3)]
+        _, span_list = _run_traced(tasks, max_workers=2)
+        a = json.dumps(chrome_trace(span_list, obs.REGISTRY),
+                       sort_keys=True)
+        b = json.dumps(chrome_trace(span_list, obs.REGISTRY),
+                       sort_keys=True)
+        assert a == b
