@@ -9,7 +9,11 @@ at three levels:
 * per-tensor size evaluation for the training graph (treewalk vs
   compiled replay vs codegen);
 * the full ``sweep_domain`` pipeline (``engine="treewalk"`` — the seed
-  recursive path — vs ``engine="compiled"`` vs ``engine="codegen"``).
+  recursive path — vs ``engine="compiled"`` vs ``engine="codegen"``);
+* guarded vs certified replay of the hot-path aggregate tape — the
+  abstract-interpretation proof (:func:`repro.check.absint.certify_tape`)
+  discharges the per-call numeric guard, and the ``certified`` section
+  records what the proof buys over the guarded replay.
 
 Writes ``BENCH_compile_eval.json`` at the repo root and asserts the
 acceptance criteria: the compiled sweep on the largest stock domain
@@ -35,6 +39,7 @@ from time import perf_counter
 from repro import obs
 from repro.analysis.counters import _SWEEP_AGGREGATES, StepCounts
 from repro.analysis.sweep import _sweep_domain_uncached, sweep_domain
+from repro.check import certify_tape, model_binding_domain
 from repro.graph.traversal import (
     _evaluate_sizes_treewalk,
     evaluate_sizes,
@@ -257,6 +262,57 @@ def _bench_sweep(key: str) -> dict:
     }
 
 
+def _bench_certified(key: str) -> dict:
+    """Guarded vs certified (guard-free) replay of the hot-path tape.
+
+    :func:`repro.check.absint.certify_tape` proves no slot of the
+    aggregate tape can go non-finite anywhere in the model's declared
+    sweep domain, which lets the replay skip the per-call numeric
+    guard.  The fused/codegen aggregate tape is a handful of
+    straight-line float ops, so the guard (a counter bump plus one
+    ``isfinite`` per output) is a real fraction of each call — this
+    leg records how much the proof buys.
+    """
+    entry = get_domain(key)
+    model = build_symbolic(key)
+    counts = StepCounts(model)
+    _warm_aggregates(counts)
+    rows = [counts.bind(s, entry.subbatch) for s in entry.sweep_sizes]
+    prog = counts.compiled(*_SWEEP_AGGREGATES).codegen()
+    # bind once outside the clock: this leg isolates replay + guard
+    vecs = [prog.bind_vector(r) for r in rows]
+    reps = range(10_000)
+
+    def replay():
+        for _ in reps:
+            out = [prog.eval_vector(v) for v in vecs]
+        return out
+
+    prog.mark_certified(False)  # the cached tape may carry a stamp
+    replay()  # warm both legs' bytecode/caches before the clock
+    guarded_s, reference = _timed(replay)
+
+    certificate = certify_tape(prog, model_binding_domain(model))
+    assert certificate.ok, (
+        f"{key}: aggregate tape failed certification "
+        f"({certificate.reason})"
+    )
+    certified_s, unguarded = _timed(replay)
+    prog.mark_certified(False)  # don't leak the stamp to other legs
+    assert unguarded == reference, \
+        "certified replay must be bit-identical to guarded replay"
+
+    return {
+        "engine": "codegen",
+        "certified": certificate.ok,
+        "n_instructions": len(prog.code),
+        "n_outputs": len(prog.out_slots),
+        "guarded_s": round(guarded_s, 6),
+        "certified_s": round(certified_s, 6),
+        "speedup_certified": round(guarded_s / certified_s, 2),
+    }
+
+
 def _bench_sweep_cache(key: str) -> dict:
     """Memoized-sweep effectiveness: cold miss, then a warm hit."""
     before = _counter_snapshot()
@@ -274,6 +330,7 @@ def test_compile_eval(bench_json):
         "aggregates": {k: _bench_aggregates(k) for k in DOMAINS},
         "tensor_sizes": {k: _bench_tensor_sizes(k) for k in DOMAINS},
         "sweep_domain": {k: _bench_sweep(k) for k in DOMAINS},
+        "certified": {k: _bench_certified(k) for k in DOMAINS},
         "sweep_cache": {k: _bench_sweep_cache(k) for k in DOMAINS},
     }
     path = bench_json("BENCH_compile_eval", results)
@@ -289,6 +346,10 @@ def test_compile_eval(bench_json):
                   f"  compiled {stats['compiled_s']:8.3f}s  {speed:6.1f}x"
                   f"  codegen {stats.get('codegen_s', 0.0):8.3f}s"
                   f"  {speed_cg:6.1f}x")
+    for key, stats in results["certified"].items():
+        print(f"    certified {key:<8} guarded {stats['guarded_s']:9.3f}s"
+              f"  certified {stats['certified_s']:8.3f}s"
+              f"  {stats['speedup_certified']:6.1f}x  (guard-free)")
     for key, stats in results["sweep_cache"].items():
         print(f"  sweep_cache {key:<8} cold {stats['cold_s']:8.3f}s"
               f"  warm {stats['warm_s']:8.3f}s"

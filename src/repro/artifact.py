@@ -149,6 +149,7 @@ def generate_results(out_dir: str,
             key=(artifact_config_key(key, size)
                  if store is not None else None),
             validate=artifact_payload_ok,
+            outputs=(_output_name(key, size),),
         )
         by_id[task.id] = (key, size)
         tasks.append(task)

@@ -14,7 +14,19 @@ package is the correctness gate that runs *without executing anything*:
 * :mod:`repro.check.autodiff` — gradient-graph completeness and
   symbolic shape agreement;
 * :mod:`repro.check.tape` — static slot-lifetime verification and
-  randomized tape≡tree equivalence for ``CompiledExpr`` programs.
+  randomized tape≡tree equivalence for ``CompiledExpr`` programs;
+* :mod:`repro.check.absint` — the abstract-interpretation engine:
+  interval, sign, and monotonicity domains over exprs and tapes, plus
+  tape certification (proven NaN/Inf-free replay skips the runtime
+  numeric guard);
+* :mod:`repro.check.intervals` — I-family whole-domain interval
+  proofs of cost-formula nonnegativity, overflow-freedom, and
+  intensity bounds;
+* :mod:`repro.check.solver_lint` — M-family proofs of the bisection
+  solver's monotonicity preconditions over the planner curve family;
+* :mod:`repro.check.exec_lint` — X-family static task-DAG lint
+  (store-key collisions, output write races, journal key drift),
+  run by the exec engine before dispatch.
 
 Every pass emits :class:`~repro.check.diagnostics.Diagnostic` records
 with severity-ranked stable rule codes (``G001 dead-op`` …).  The
@@ -32,11 +44,29 @@ from .diagnostics import (
     Rule,
     filter_diagnostics,
 )
+from .absint import (
+    BindingDomain,
+    Interval,
+    TapeCertificate,
+    certify_tape,
+    interval_of_expr,
+    interval_of_tape,
+    monotonicity,
+    probe_monotonicity,
+    sign_of,
+)
 from .autodiff import autodiff_diagnostics
 from .costs import cost_diagnostics
 from .dataflow import DataflowIndex
-from .driver import lint_graph, lint_model, lint_registry
+from .driver import SOLVER_KEY, lint_graph, lint_model, lint_registry
+from .exec_lint import task_diagnostics
 from .graph_lint import dataflow_diagnostics
+from .intervals import (
+    interval_diagnostics,
+    model_binding_domain,
+    registry_binding_domain,
+)
+from .solver_lint import solver_diagnostics
 from .structure import structural_diagnostics
 from .tape import equivalence_diagnostics, verify_tape
 
@@ -52,10 +82,25 @@ __all__ = [
     "lint_graph",
     "lint_model",
     "lint_registry",
+    "SOLVER_KEY",
     "structural_diagnostics",
     "dataflow_diagnostics",
     "cost_diagnostics",
     "autodiff_diagnostics",
     "verify_tape",
     "equivalence_diagnostics",
+    "Interval",
+    "BindingDomain",
+    "TapeCertificate",
+    "certify_tape",
+    "interval_of_expr",
+    "interval_of_tape",
+    "sign_of",
+    "monotonicity",
+    "probe_monotonicity",
+    "interval_diagnostics",
+    "model_binding_domain",
+    "registry_binding_domain",
+    "solver_diagnostics",
+    "task_diagnostics",
 ]

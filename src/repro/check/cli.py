@@ -1,7 +1,8 @@
 """``repro-lint``: static-analysis gate over the model registry.
 
 Runs every analysis pass (structure, dataflow, cost formulas,
-autodiff, compiled tapes) across every model in the registry — or a
+autodiff, compiled tapes, whole-domain interval proofs, and solver
+monotonicity preconditions) across every model in the registry — or a
 chosen subset — and reports severity-ranked findings::
 
     repro-lint                        # all domains, text report
@@ -30,7 +31,25 @@ from .diagnostics import (
     WARNING,
 )
 
-__all__ = ["main"]
+__all__ = ["main", "JSON_SCHEMA_VERSION"]
+
+#: bumped whenever the --json report shape changes; downstream tooling
+#: (the CI gate, repro-obs) keys format handling off this field.
+#: 2 = added schema_version itself, the I/M/X rule families, the
+#: planner.subbatch pseudo-graph row, and data["proof"] payloads.
+JSON_SCHEMA_VERSION = 2
+
+#: display order + titles for --list-rules family grouping
+_FAMILIES = [
+    ("S", "structural invariants"),
+    ("G", "graph dataflow lint"),
+    ("C", "cost-formula dimensional analysis"),
+    ("A", "autodiff consistency"),
+    ("T", "compiled-tape verification"),
+    ("I", "interval proofs over declared domains (absint)"),
+    ("M", "solver monotonicity preconditions (absint)"),
+    ("X", "exec task-DAG lint"),
+]
 
 
 def _split_codes(values: Optional[List[str]]) -> Optional[List[str]]:
@@ -83,9 +102,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for code in sorted(RULES):
+        grouped = {prefix for prefix, _ in _FAMILIES}
+        for prefix, title in _FAMILIES:
+            codes = sorted(c for c in RULES if c.startswith(prefix))
+            if not codes:
+                continue
+            print(f"{prefix} — {title}")
+            for code in codes:
+                rule = RULES[code]
+                print(f"  {code} {rule.name:32s} {rule.severity:8s} "
+                      f"{rule.description}")
+        # future-proofing: any family not in the display table still
+        # prints rather than silently vanishing from the listing
+        orphans = sorted(c for c in RULES if c[0] not in grouped)
+        for code in orphans:
             rule = RULES[code]
-            print(f"{code} {rule.name:28s} {rule.severity:8s} "
+            print(f"  {code} {rule.name:32s} {rule.severity:8s} "
                   f"{rule.description}")
         return 0
 
@@ -107,6 +139,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.json:
         payload = {
             "version": 1,
+            "schema_version": JSON_SCHEMA_VERSION,
             "training": not args.forward_only,
             "graphs": {
                 key: [d.to_dict() for d in diagnostics]

@@ -26,6 +26,13 @@ Symbolic checks decide most cases outright (posynomial coefficient
 inspection); indeterminate signs fall back to numeric probes at
 deterministic positive bindings, and a violation is only reported with
 a concrete witness binding.
+
+Since the absint engine landed, C003 and C005 are *proof-first*: the
+posynomial degree/coefficient arguments decide over all positive
+bindings at once, findings carry a ``data["proof"]`` payload naming
+the method, and the probe loops remain only as the fallback oracle for
+non-posynomial fragments (every outcome ticks the
+``check.absint.proved/fallback/refuted`` counters).
 """
 
 from __future__ import annotations
@@ -37,6 +44,7 @@ from ..graph.graph import Graph
 from ..graph.op import Op
 from ..symbolic import Expr, Symbol
 from ..symbolic.poly import degrees, nonnegative
+from .absint import record_outcome
 from .diagnostics import Diagnostic
 
 __all__ = ["cost_diagnostics", "probe_bindings"]
@@ -205,6 +213,10 @@ def _check_flops_degree(costs: _OpCosts, elem_degrees: Dict
             for sym, d in flops_deg.items():
                 cap = caps.get(sym, 0)
                 if d > cap:
+                    # posynomial degrees are global facts: the bound is
+                    # exceeded at every sufficiently large binding, not
+                    # just a probe sample
+                    record_outcome("refuted")
                     return [Diagnostic(
                         "C003",
                         f"op {op.name} ({op.kind}) FLOPs grow as "
@@ -212,10 +224,18 @@ def _check_flops_degree(costs: _OpCosts, elem_degrees: Dict
                         f"{'declared' if declared is not None else 'tensor'}"
                         f" degree cap {cap}",
                         graph=graph_name, obj=op.name,
+                        data={"proof": {
+                            "method": "poly-degree",
+                            "symbol": sym.name,
+                            "degree": float(d),
+                            "cap": float(cap),
+                        }},
                     )]
+            record_outcome("proved")
             return []
         # symbolic flops but non-posynomial tensor sizes: fall through
 
+    record_outcome("fallback")
     return _numeric_degree_check(costs, declared)
 
 
@@ -299,6 +319,9 @@ def _check_matmul_form(costs: _OpCosts) -> List[Diagnostic]:
 
 def _check_intensity(costs: _OpCosts) -> List[Diagnostic]:
     op, graph_name = costs.op, ""
+    proven = _intensity_proof(costs)
+    if proven is not None:
+        return proven
     max_elements = [
         max((t.num_elements().evalf(p)
              for t in tuple(op.inputs) + tuple(op.outputs)), default=0.0)
@@ -327,5 +350,77 @@ def _check_intensity(costs: _OpCosts) -> List[Diagnostic]:
                 graph=graph_name, obj=op.name,
             )]
     return []
+
+
+def _intensity_proof(costs: _OpCosts) -> Optional[List[Diagnostic]]:
+    """Decide C005 by posynomial proof when the fragment allows.
+
+    The bound is ``flops ≤ bytes · max_t elements(t)``.  Both sides
+    are posynomials in the size symbols (the max handled by
+    quantifying over the tensors), so coefficient inspection can
+    decide the comparison for *all* positive bindings at once:
+
+    * compliance — some tensor ``t`` has
+      ``bytes·elements(t) − flops ≥ 0``: intensity never exceeds that
+      tensor's element count, which the cap dominates;
+    * violation — ``flops − bytes·elements(t) ≥ 0`` for *every*
+      tensor: intensity meets-or-beats the cap everywhere, and a probe
+      supplies the strictness witness.
+
+    Returns the diagnostics to report (possibly empty = proven clean),
+    or None to fall back to the probe loop.
+    """
+    op, graph_name = costs.op, ""
+    tensors = tuple(op.inputs) + tuple(op.outputs)
+    if not tensors or nonnegative(costs.flops) is not True:
+        record_outcome("fallback")
+        return None
+
+    for t in tensors:
+        if nonnegative(costs.bytes * t.num_elements()
+                       - costs.flops) is True:
+            record_outcome("proved")
+            return []
+
+    if all(nonnegative(costs.flops - costs.bytes * t.num_elements())
+           is True for t in tensors):
+        # ≥ holds everywhere; a strict probe turns it into a violation
+        for i, (f, by) in enumerate(zip(costs.flops_at, costs.bytes_at)):
+            if f <= _REL_TOL:
+                continue
+            proof = {
+                "method": "posynomial-bound",
+                "comparison": "flops >= bytes * elements(t) for every "
+                              "tensor t, over all positive bindings",
+                "witness": dict(costs.probes[i]),
+            }
+            if by <= _REL_TOL:
+                record_outcome("refuted")
+                return [Diagnostic(
+                    "C005",
+                    f"op {op.name} ({op.kind}) computes {f:g} FLOPs "
+                    f"at [{_binding_repr(costs.probes[i])}] while "
+                    "touching no memory (proven for the whole "
+                    "positive domain)",
+                    graph=graph_name, obj=op.name,
+                    data={"proof": proof},
+                )]
+            cap = max((t.num_elements().evalf(costs.probes[i])
+                       for t in tensors), default=0.0)
+            if f / by > cap * (1.0 + _REL_TOL):
+                record_outcome("refuted")
+                return [Diagnostic(
+                    "C005",
+                    f"op {op.name} ({op.kind}) operational intensity "
+                    f"{f / by:g} FLOPs/byte exceeds its largest "
+                    f"tensor's element count {cap:g} over the whole "
+                    f"positive domain (witness "
+                    f"[{_binding_repr(costs.probes[i])}])",
+                    graph=graph_name, obj=op.name,
+                    data={"proof": proof},
+                )]
+
+    record_outcome("fallback")
+    return None
 
 

@@ -10,6 +10,9 @@ codes are grouped by pass family:
 * ``C***`` — cost-formula dimensional analysis
 * ``A***`` — autodiff consistency
 * ``T***`` — compiled-tape verification
+* ``I***`` — interval proofs over declared binding domains (absint)
+* ``M***`` — solver monotonicity preconditions (absint)
+* ``X***`` — exec task-DAG lint (static, pre-dispatch)
 """
 
 from __future__ import annotations
@@ -113,6 +116,39 @@ _RULE_DEFS = [
          "violates the immediate-form contract: coefficients and "
          "exponents must be float immediates and factor lists "
          "non-empty"),
+    # -- interval proofs over declared binding domains (absint) ---------
+    Rule("I001", "interval-nonneg-refuted", ERROR,
+         "interval analysis proves a cost formula can go negative "
+         "somewhere inside the declared binding domain"),
+    Rule("I002", "interval-overflow", WARNING,
+         "interval analysis shows a cost formula can overflow or hit "
+         "a float domain error inside the declared binding domain"),
+    Rule("I003", "intensity-interval-refuted", WARNING,
+         "interval analysis proves operational intensity exceeds its "
+         "bound over the entire declared binding domain"),
+    # -- solver monotonicity preconditions (absint) ---------------------
+    Rule("M001", "bisection-precondition-unproved", ERROR,
+         "the monotonicity precondition of a bisection-solved planner "
+         "curve could not be proven over its bracket domain"),
+    Rule("M002", "bisection-precondition-refuted", ERROR,
+         "a planner curve is provably decreasing where the bisection "
+         "solver requires a nondecreasing objective"),
+    Rule("M003", "bracket-domain-mismatch", WARNING,
+         "a solver bracket extends outside the curve's declared "
+         "binding domain, so the monotonicity proof does not cover "
+         "the whole search range"),
+    # -- exec task-DAG lint (static, pre-dispatch) ----------------------
+    Rule("X001", "store-key-collision", ERROR,
+         "two distinct tasks declare the same result-store key, so "
+         "one silently shadows the other in the content-addressed "
+         "store"),
+    Rule("X002", "output-path-race", ERROR,
+         "two tasks declare the same output path (write race: final "
+         "contents depend on scheduling order)"),
+    Rule("X003", "journal-task-drift", WARNING,
+         "a journaled completion record's store key differs from the "
+         "current task's key, so --resume will re-run work the "
+         "journal claims is done"),
 ]
 
 RULES: Dict[str, Rule] = {r.code: r for r in _RULE_DEFS}

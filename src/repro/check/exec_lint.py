@@ -1,0 +1,96 @@
+"""X-rules: static lint of an exec task DAG before dispatch.
+
+The execution engine validates ids, deps, and cycles in ``_toposort``;
+everything else it discovers the expensive way — mid-run, after
+workers have been spawned and partial results journaled.  Three more
+DAG defects are decidable from task metadata alone, so they belong in
+a pre-dispatch pass:
+
+* **X001** — two distinct tasks declare the same result-store key.
+  The content-addressed store would hand the second task the first
+  task's cached value (or the last writer would silently win).
+* **X002** — two tasks declare the same output path
+  (:attr:`~repro.exec.engine.Task.outputs`): the final file contents
+  depend on scheduling order.
+* **X003** — a journal ok-record's store key differs from the current
+  task's key: ``--resume`` will re-run work the journal claims done
+  (the runtime replay already refuses the record; this surfaces the
+  drift *before* the run instead of as a silent cache miss).
+
+:meth:`repro.exec.engine.ExecutionEngine.run` runs this pass first and
+raises ``ValueError`` on any error-severity finding — the same
+contract as ``_toposort``'s structural validation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .diagnostics import Diagnostic
+
+__all__ = ["task_diagnostics"]
+
+#: pseudo-graph label the findings are anchored to
+GRAPH_LABEL = "exec.tasks"
+
+
+def task_diagnostics(tasks: Sequence, *,
+                     journal=None) -> List[Diagnostic]:
+    """Run the X-family rules over a task DAG.
+
+    ``tasks`` is any sequence of :class:`~repro.exec.engine.Task`-like
+    objects (``id``/``key``/``outputs`` attributes); ``journal`` an
+    optional :class:`~repro.exec.journal.RunJournal` whose completed
+    records are cross-checked for key drift.
+    """
+    out: List[Diagnostic] = []
+
+    by_key: Dict[str, str] = {}
+    for task in tasks:
+        key = getattr(task, "key", None)
+        if key is None:
+            continue
+        first = by_key.setdefault(key, task.id)
+        if first != task.id:
+            out.append(Diagnostic(
+                "X001",
+                f"tasks {first!r} and {task.id!r} declare the same "
+                f"result-store key {key[:16]}…; one would silently "
+                "shadow the other in the store",
+                graph=GRAPH_LABEL, obj=task.id,
+                data={"key": key, "tasks": [first, task.id]},
+            ))
+
+    by_path: Dict[str, str] = {}
+    for task in tasks:
+        for path in getattr(task, "outputs", ()) or ():
+            first = by_path.setdefault(path, task.id)
+            if first != task.id:
+                out.append(Diagnostic(
+                    "X002",
+                    f"tasks {first!r} and {task.id!r} both declare "
+                    f"output path {path!r}; final contents depend on "
+                    "scheduling order",
+                    graph=GRAPH_LABEL, obj=task.id,
+                    data={"path": path, "tasks": [first, task.id]},
+                ))
+
+    if journal is not None:
+        journaled = journal.completed_keys()
+        for task in tasks:
+            if task.id not in journaled:
+                continue
+            old_key = journaled[task.id]
+            new_key = getattr(task, "key", None)
+            if old_key is not None and new_key is not None \
+                    and old_key != new_key:
+                out.append(Diagnostic(
+                    "X003",
+                    f"task {task.id!r} was journaled under store key "
+                    f"{old_key[:16]}… but now declares "
+                    f"{new_key[:16]}…; --resume will re-run it",
+                    graph=GRAPH_LABEL, obj=task.id,
+                    data={"journaled_key": old_key,
+                          "task_key": new_key},
+                ))
+    return out

@@ -114,6 +114,9 @@ class Task:
     retries: Optional[int] = None      # None -> engine default
     key: Optional[str] = None          # result-store key (opt-in)
     validate: Optional[Callable[[Any], bool]] = None
+    #: paths this task writes (metadata for the pre-dispatch X-lint:
+    #: two tasks declaring the same path is a write race)
+    outputs: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -248,6 +251,37 @@ class ExecutionEngine:
         self._run_span: Optional[obs.Span] = None
         self._flow_ids = itertools.count(1)
 
+    @staticmethod
+    def lint(tasks: Sequence[Task], *,
+             journal: Optional[RunJournal] = None):
+        """Static X-lint of a task DAG (no dispatch).
+
+        Returns the :class:`~repro.check.diagnostics.Diagnostic` list:
+        store-key collisions (X001), output write races (X002), and
+        journal/task key drift (X003).  :meth:`run` calls this before
+        dispatching and refuses the DAG on any error-severity finding.
+        """
+        from ..check.exec_lint import task_diagnostics
+
+        return task_diagnostics(tasks, journal=journal)
+
+    def _lint_tasks(self, tasks: Sequence[Task]) -> None:
+        """Refuse statically-broken DAGs before any work is dispatched.
+
+        Same ``ValueError`` contract as ``_toposort``'s duplicate-id /
+        unknown-dep validation: these are caller bugs, not runtime
+        faults, so they must not burn retries or land in the journal.
+        """
+        from .. import check
+
+        errors = [d for d in self.lint(tasks, journal=self.journal)
+                  if d.severity == check.ERROR]
+        if errors:
+            raise ValueError(
+                "task DAG failed pre-dispatch lint: "
+                + "; ".join(d.format() for d in errors)
+            )
+
     # -- public API ----------------------------------------------------
     def run(self, tasks: Sequence[Task],
             on_result: Optional[Callable[[Task, TaskResult],
@@ -267,6 +301,7 @@ class ExecutionEngine:
         poll flips mid-run (in-flight work is drained and journaled
         first; completed results ride on the exception).
         """
+        self._lint_tasks(tasks)
         order = _toposort(tasks)
         results: Dict[str, TaskResult] = {}
         self._on_result = on_result

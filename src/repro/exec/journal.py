@@ -123,6 +123,16 @@ class RunJournal:
         """Task ids with a journaled-ok record (pre-verification)."""
         return sorted(self._complete)
 
+    def completed_keys(self) -> Dict[str, Optional[str]]:
+        """``{task id: journaled store key}`` for every ok record.
+
+        Metadata-only view for the static X-lint: lets the analyzer
+        flag journal/task key drift (X003) without touching payloads
+        or re-hashing output files.
+        """
+        return {task_id: record.get("key")
+                for task_id, record in self._complete.items()}
+
     # -- load / verify -------------------------------------------------
     def _load(self) -> None:
         """Replay journal lines; a truncated trailing line is dropped."""

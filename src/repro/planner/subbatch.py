@@ -32,7 +32,8 @@ from ..hardware.accelerator import AcceleratorConfig
 from ..symbolic import bisect_increasing
 
 __all__ = ["SubbatchCurvePoint", "SubbatchChoice", "CompiledCurves",
-           "subbatch_curve", "choose_subbatch", "compile_curves"]
+           "subbatch_curve", "choose_subbatch", "compile_curves",
+           "SymbolicCurve", "symbolic_curves", "SOLVE_BRACKET"]
 
 #: subbatch sizes are chosen on a multiple-of-32 grid (warp-friendly)
 _GRID = 32
@@ -122,6 +123,74 @@ def _curves_cached(gamma: float, lam: float, mu: float,
     return CompiledCurves(intensity=intensity, step_time=step_time,
                           time_per_sample=time_per_sample,
                           footprint=footprint)
+
+
+#: the bracket every choose_subbatch bisection searches
+SOLVE_BRACKET = (1.0, 2.0 ** 18)
+
+
+@dataclass(frozen=True)
+class SymbolicCurve:
+    """One bisection objective as a symbolic family.
+
+    ``expr`` is the curve with every fitted constant left symbolic, so
+    a monotonicity proof over positive constant ranges covers *every*
+    instantiation :func:`compile_curves` can produce — the static
+    analyzer (``repro.check.solver_lint``) verifies the solver
+    precondition once, for all models and accelerators, instead of per
+    fitted ``FirstOrderModel``.  ``required`` names the direction
+    :func:`choose_subbatch`'s ``bisect_increasing`` call assumes in
+    ``solve_symbol`` over ``bracket``.
+    """
+
+    name: str
+    expr: object          # Expr; object keeps the planner numpy-only
+    solve_symbol: object  # the Symbol bisected over
+    required: str         # "nondecreasing" | "nonincreasing"
+    bracket: tuple
+    note: str = ""
+
+
+def symbolic_curves() -> List[SymbolicCurve]:
+    """The §5.2.1 curve family behind every ``choose_subbatch`` root.
+
+    Mirrors :func:`_curves_cached` exactly, with the folded constants
+    (γ, λ, µ, c1, c2, p, achievable FLOP/s ``xc``, achievable
+    bandwidth ``xa``) as free symbols.  :func:`choose_subbatch` runs
+    three ``bisect_increasing`` calls; their objectives reduce to two
+    monotonicity obligations in the subbatch ``b``:
+
+    * ``intensity`` nondecreasing (ridge crossing + saturation roots);
+    * ``time_per_sample`` nonincreasing (the min-latency root bisects
+      its negation).
+    """
+    from ..symbolic import Max, Symbol
+
+    b = Symbol("b")
+    p = Symbol("p")
+    gamma, lam, mu = Symbol("gamma"), Symbol("lam"), Symbol("mu")
+    c1, c2 = Symbol("c1"), Symbol("c2")
+    xc, xa = Symbol("xc"), Symbol("xa")
+
+    root_p = p ** 0.5
+    intensity = b * root_p / (c1 * root_p + c2 * b)
+    step_time = Max.of(gamma * p / xc * b,
+                       lam * p / xa + mu * root_p / xa * b)
+    time_per_sample = step_time / b
+
+    return [
+        SymbolicCurve(
+            name="intensity", expr=intensity, solve_symbol=b,
+            required="nondecreasing", bracket=SOLVE_BRACKET,
+            note="ridge crossing and 0.95-saturation roots",
+        ),
+        SymbolicCurve(
+            name="time_per_sample", expr=time_per_sample,
+            solve_symbol=b,
+            required="nonincreasing", bracket=SOLVE_BRACKET,
+            note="min-latency root bisects the negated curve",
+        ),
+    ]
 
 
 @dataclass

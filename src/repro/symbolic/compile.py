@@ -429,7 +429,7 @@ class CompiledExpr:
     """
 
     __slots__ = ("code", "symbols", "out_slots", "_sym_index", "_single",
-                 "_fused", "_codegen")
+                 "_fused", "_codegen", "_certified")
 
     def __init__(self, code: Sequence[Tuple[int, object]],
                  symbols: Sequence[Symbol],
@@ -441,6 +441,25 @@ class CompiledExpr:
         self._single = single
         self._fused = None
         self._codegen = None
+        self._certified = False
+
+    # -- certification -------------------------------------------------
+    @property
+    def certified(self) -> bool:
+        """True when an interval proof discharged the numeric guard.
+
+        Stamped by :func:`repro.check.absint.certify_tape` after proving
+        no slot can go non-finite anywhere in a declared binding domain.
+        Certified replays skip the per-call finiteness guard; the caller
+        owns the obligation to evaluate inside the certified domain.
+        The stamp never survives pickling, and derived engines
+        (:meth:`fused`/:meth:`codegen`) must be certified separately —
+        each runs a different instruction sequence.
+        """
+        return self._certified
+
+    def mark_certified(self, value: bool = True) -> None:
+        self._certified = bool(value)
 
     # -- derived engines (cached; the tape itself is immutable) --------
     def fused(self) -> "CompiledExpr":
@@ -609,7 +628,7 @@ class CompiledExpr:
             else:  # _LOG
                 v = math.log(vals[payload])
             vals[i] = v
-        if _NUMERIC_POLICY != "off":
+        if _NUMERIC_POLICY != "off" and not self._certified:
             _GUARD_CHECKS.inc()
             for j, slot in enumerate(self.out_slots):
                 if not math.isfinite(vals[slot]):
@@ -737,7 +756,7 @@ class CompiledExpr:
         out = np.empty((n, len(self.out_slots)), dtype=float)
         for j, slot in enumerate(self.out_slots):
             out[:, j] = vals[slot]
-        if _NUMERIC_POLICY != "off":
+        if _NUMERIC_POLICY != "off" and not self._certified:
             _GUARD_CHECKS.inc()
             finite = np.isfinite(out)
             if not finite.all():
@@ -922,7 +941,7 @@ class CodegenExpr(CompiledExpr):
 
     def _eval_vector(self, vec: Sequence[Optional[float]]):
         outs = self._scalar_fn(vec)
-        if _NUMERIC_POLICY != "off":
+        if _NUMERIC_POLICY != "off" and not self._certified:
             _GUARD_CHECKS.inc()
             for j, value in enumerate(outs):
                 if not math.isfinite(value):
@@ -937,7 +956,7 @@ class CodegenExpr(CompiledExpr):
         out = np.empty((mat.shape[0], len(self.out_slots)), dtype=float)
         for j, column in enumerate(outs):
             out[:, j] = column
-        if _NUMERIC_POLICY != "off":
+        if _NUMERIC_POLICY != "off" and not self._certified:
             _GUARD_CHECKS.inc()
             finite = np.isfinite(out)
             if not finite.all():

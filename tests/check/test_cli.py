@@ -9,8 +9,21 @@ class TestListRules:
     def test_prints_registry_and_exits_zero(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("S002", "G001", "C003", "A002", "T001"):
+        for code in ("S002", "G001", "C003", "A002", "T001",
+                     "I001", "M001", "X001"):
             assert code in out
+
+    def test_groups_by_family_with_headers(self, capsys):
+        assert main(["--list-rules"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        headers = [l for l in lines if not l.startswith("  ")]
+        # one header per family, in display order
+        assert [h[0] for h in headers] == \
+            ["S", "G", "C", "A", "T", "I", "M", "X"]
+        # rule rows are indented under their family and carry severity
+        i001 = next(l for l in lines if l.startswith("  I001"))
+        assert "interval-nonneg-refuted" in i001
+        assert "error" in i001
 
 
 class TestRegistryGate:
@@ -26,6 +39,7 @@ class TestRegistryGate:
         assert main(["--domain", "image", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["version"] == 1
+        assert payload["schema_version"] == 2
         assert "image" in payload["graphs"]
         assert payload["summary"]["error"] == 0
 
@@ -34,3 +48,12 @@ class TestRegistryGate:
         # exits zero and reports a clean run
         assert main(["--domain", "image", "--select", "T"]) == 0
         assert "0 error(s)" in capsys.readouterr().out
+
+    def test_proof_families_clean_on_registry_model(self, capsys):
+        # the I-family interval proofs must hold over the image model's
+        # declared sweep domain — even at warning severity
+        assert main(["--domain", "image", "--select", "I,M,X",
+                     "--fail-on", "warning", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"] == {"error": 0, "warning": 0,
+                                      "info": 0}

@@ -80,8 +80,15 @@ class TestC003FlopsDegreeAnomaly:
 
         found = cost_diagnostics(one_op_graph(SuperlinearOp))
         assert "C003" in codes(found)
-        assert "h^2" in next(
-            d.message for d in found if d.code == "C003")
+        d = next(d for d in found if d.code == "C003")
+        assert "h^2" in d.message
+        # the finding is proof-backed (symbolic degree analysis), not
+        # a sampled probe: the witness names the method and the degrees
+        proof = d.data["proof"]
+        assert proof["method"] == "poly-degree"
+        assert proof["symbol"] == "h"
+        assert proof["degree"] == 2.0
+        assert proof["cap"] == 1.0
 
     def test_declared_degree_overrides_tensor_cap(self):
         class DeclaredOp(Op):
@@ -150,8 +157,13 @@ class TestC005IntensityBounds:
 
         found = cost_diagnostics(one_op_graph(GhostComputeOp))
         assert "C005" in codes(found)
-        assert "touching no memory" in next(
-            d.message for d in found if d.code == "C005")
+        d = next(d for d in found if d.code == "C005")
+        assert "touching no memory" in d.message
+        # proven over the whole positive domain by the posynomial
+        # comparison, with one concrete witness binding attached
+        proof = d.data["proof"]
+        assert proof["method"] == "posynomial-bound"
+        assert proof["witness"]
 
     def test_intensity_above_reuse_cap(self):
         class HotOp(Op):

@@ -13,10 +13,52 @@ from repro.check import (
 from repro.check.diagnostics import max_severity
 
 
+#: the full rule inventory, locked code-by-code: adding a rule means
+#: extending this table in the same change; renumbering or silently
+#: dropping a code (which downstream --select/--ignore configs and
+#: recorded lint reports reference) fails here
+EXPECTED_RULES = {
+    "S001": ("orphan-tensor", ERROR),
+    "S002": ("edge-mismatch", ERROR),
+    "S003": ("op-invariant", ERROR),
+    "S004": ("cycle", ERROR),
+    "S005": ("unconsumed-tensor", WARNING),
+    "G001": ("dead-op", WARNING),
+    "G002": ("dead-tensor", WARNING),
+    "G003": ("param-never-updated", ERROR),
+    "C001": ("bytes-write-lower-bound", ERROR),
+    "C002": ("bytes-operand-upper-bound", WARNING),
+    "C003": ("flops-degree-anomaly", ERROR),
+    "C004": ("matmul-flops-form", ERROR),
+    "C005": ("intensity-bounds", WARNING),
+    "A001": ("grad-shape-mismatch", ERROR),
+    "A002": ("missing-gradient", ERROR),
+    "A003": ("grad-dtype-mismatch", WARNING),
+    "T001": ("slot-read-after-free", ERROR),
+    "T002": ("malformed-instruction", ERROR),
+    "T003": ("dead-instruction", WARNING),
+    "T004": ("tape-tree-divergence", ERROR),
+    "T005": ("malformed-fused-payload", ERROR),
+    "I001": ("interval-nonneg-refuted", ERROR),
+    "I002": ("interval-overflow", WARNING),
+    "I003": ("intensity-interval-refuted", WARNING),
+    "M001": ("bisection-precondition-unproved", ERROR),
+    "M002": ("bisection-precondition-refuted", ERROR),
+    "M003": ("bracket-domain-mismatch", WARNING),
+    "X001": ("store-key-collision", ERROR),
+    "X002": ("output-path-race", ERROR),
+    "X003": ("journal-task-drift", WARNING),
+}
+
+
 class TestRuleRegistry:
     def test_all_families_present(self):
         families = {code[0] for code in RULES}
-        assert families == {"S", "G", "C", "A", "T"}
+        assert families == {"S", "G", "C", "A", "T", "I", "M", "X"}
+
+    def test_inventory_locked(self):
+        assert {c: (r.name, r.severity) for c, r in RULES.items()} \
+            == EXPECTED_RULES
 
     def test_codes_are_stable_format(self):
         for code, rule in RULES.items():
@@ -84,6 +126,18 @@ class TestFiltering:
         out = filter_diagnostics(
             self._sample(), select=["A", "T"], suppress=["T"])
         assert [d.code for d in out] == ["A002"]
+
+    def test_select_and_ignore_cover_proof_families(self):
+        diags = [
+            Diagnostic("I001", "i", graph="g"),
+            Diagnostic("M002", "m", graph="g"),
+            Diagnostic("X003", "x", graph="g"),
+            Diagnostic("G001", "w", graph="g"),
+        ]
+        out = filter_diagnostics(diags, select=["I", "M", "X"])
+        assert sorted(d.code for d in out) == ["I001", "M002", "X003"]
+        out = filter_diagnostics(diags, ignore=["I", "X003"])
+        assert sorted(d.code for d in out) == ["G001", "M002"]
 
     def test_max_severity(self):
         assert max_severity([]) is None

@@ -1,0 +1,101 @@
+"""Tests for the M-family solver-precondition proofs."""
+
+from repro.check import ERROR, WARNING
+from repro.check.solver_lint import (
+    GRAPH_LABEL,
+    curve_domain,
+    solver_diagnostics,
+)
+from repro.planner.subbatch import (
+    SOLVE_BRACKET,
+    SymbolicCurve,
+    symbolic_curves,
+)
+from repro.symbolic import symbols
+
+(b,) = symbols("b")
+
+
+class TestPlannerCurveFamily:
+    def test_shipping_curves_prove_clean(self):
+        # the acceptance property: both bisection objectives carry a
+        # proof of their required direction over the whole bracket ×
+        # all positive constants — zero findings
+        assert solver_diagnostics() == []
+
+    def test_curve_family_shape(self):
+        curves = symbolic_curves()
+        names = {c.name: c for c in curves}
+        assert names["intensity"].required == "nondecreasing"
+        assert names["time_per_sample"].required == "nonincreasing"
+        for curve in curves:
+            assert curve.bracket == SOLVE_BRACKET
+            assert curve.solve_symbol.name == "b"
+
+    def test_curve_domain_binds_bracket(self):
+        curve = symbolic_curves()[0]
+        domain = curve_domain(curve)
+        iv = domain.get(curve.solve_symbol.name)
+        assert (iv.lo, iv.hi) == SOLVE_BRACKET
+        # every fitted constant has a declared positive range
+        assert domain.get("p").lo > 0
+
+
+class TestRuleTriggers:
+    def test_m002_refuted_direction(self):
+        # b is provably nondecreasing; requiring the opposite must be
+        # *refuted* with a proof, not merely unproved
+        curve = SymbolicCurve(
+            name="bad", expr=b * 2, solve_symbol=b,
+            required="nonincreasing", bracket=(1.0, 64.0),
+            note="test curve",
+        )
+        (d,) = solver_diagnostics([curve])
+        assert d.code == "M002"
+        assert d.severity == ERROR
+        assert d.graph == GRAPH_LABEL
+        assert d.data["proof"]["method"] == "log-elasticity"
+        assert d.data["proof"]["verdict"] == "nondecreasing"
+
+    def test_m001_unproved_direction(self):
+        # b + 1/b is non-monotone over a bracket spanning its minimum:
+        # the elasticity analysis cannot prove either direction
+        curve = SymbolicCurve(
+            name="vee", expr=b + b ** -1, solve_symbol=b,
+            required="nondecreasing", bracket=(0.125, 64.0),
+            note="test curve",
+        )
+        (d,) = solver_diagnostics([curve])
+        assert d.code == "M001"
+        assert d.severity == ERROR
+        assert d.data["proof"]["oracle"] is not None
+
+    def test_m003_bracket_outside_declared_range(self):
+        # solving over a symbol that carries a declared constant range
+        # ("p" starts at 1e3): a bracket reaching below it means the
+        # proof does not cover the whole search range
+        (p,) = symbols("p")
+        curve = SymbolicCurve(
+            name="pcurve", expr=p * 2, solve_symbol=p,
+            required="nondecreasing", bracket=(1.0, 64.0),
+            note="test curve",
+        )
+        codes = [d.code for d in solver_diagnostics([curve])]
+        assert codes == ["M003"]  # direction still proves fine
+
+    def test_bracket_inside_declared_range_is_clean(self):
+        (p,) = symbols("p")
+        curve = SymbolicCurve(
+            name="pcurve", expr=p * 2, solve_symbol=p,
+            required="nondecreasing", bracket=(1e4, 1e6),
+            note="test curve",
+        )
+        assert solver_diagnostics([curve]) == []
+
+
+class TestSeverities:
+    def test_rule_severities(self):
+        from repro.check import RULES
+        assert RULES["M001"].severity == ERROR
+        assert RULES["M002"].severity == ERROR
+        assert RULES["M003"].severity == WARNING
