@@ -28,6 +28,7 @@ setup(
             "repro-report=repro.cli:main",
             "repro-lint=repro.check.cli:main",
             "repro-obs=repro.obs.cli:main",
+            "repro-serve=repro.serve.cli:main",
         ]
     },
 )

@@ -1,0 +1,8 @@
+"""``python -m repro.serve`` — alias for the ``repro-serve`` script."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,139 @@
+"""``repro-serve`` — run the analysis daemon.
+
+::
+
+    repro-serve [--host H] [--port P] [--job-workers N]
+                [--run-dir DIR] [--resume]
+                [--no-cache] [--cache-dir PATH] [--debug]
+
+Prints one JSON announce line on stdout once the socket is bound
+(``{"event": "serving", "url": ..., "port": ..., "pid": ...}``) — test
+fixtures and scripts read it to learn the ephemeral port — then serves
+until the first SIGTERM/SIGINT.  The signal starts a graceful drain
+(stop accepting, finish queued jobs, checkpoint the journal); a second
+signal hard-aborts.
+
+Exit codes follow the repo-wide convention:
+
+* ``0`` — clean shutdown, no jobs left behind;
+* ``3`` (``EXIT_RESUMABLE``) — jobs were still pending at drain
+  deadline; restart with ``--run-dir DIR --resume`` to pick them up;
+* ``1`` — startup or configuration error (rendered, no traceback).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import List, Optional
+
+from .. import obs
+from ..artifact import run_cli, store_from_args
+from ..errors import EXIT_RESUMABLE, ReproIOError
+from ..exec.signals import GracefulShutdown
+from ..exec.store import default_cache_dir
+from .server import ReproServer
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve the analysis pipeline (sweeps, plans, "
+                    "lint, exhibits) as JSON over HTTP from one "
+                    "long-running process.",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)")
+    parser.add_argument(
+        "--port", type=int, default=0, metavar="P",
+        help="listen port (default: 0 = ephemeral; the announce "
+             "line on stdout carries the chosen port)")
+    parser.add_argument(
+        "--job-workers", type=int, default=2, metavar="N",
+        help="async-job worker threads (default: 2)")
+    parser.add_argument(
+        "--run-dir", metavar="DIR", default=None,
+        help="journal async jobs under DIR/.runstate so a restart "
+             "with --resume finishes them (default: jobs are "
+             "in-memory only)")
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="recover journaled jobs from --run-dir: completed "
+             "results replay verbatim, unfinished jobs re-enter "
+             "the queue")
+    parser.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="S",
+        help="seconds to wait for queued jobs on shutdown "
+             "(default: 30)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result store (always recompute)")
+    parser.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="result-store directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro)")
+    parser.add_argument(
+        "--debug", action="store_true",
+        help="show raw tracebacks instead of one-paragraph "
+             "E-* error summaries")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.resume and not args.run_dir:
+        build_parser().error("--resume requires --run-dir")
+    recorder = obs.RunRecorder(
+        "repro-serve",
+        config={"host": args.host, "port": args.port,
+                "job_workers": args.job_workers,
+                "run_dir": args.run_dir, "resume": args.resume,
+                "cache": not args.no_cache},
+        run_dir=args.run_dir, resume=args.resume,
+    )
+
+    def body() -> int:
+        try:
+            server = ReproServer(
+                args.host, args.port,
+                store=store_from_args(args),
+                run_dir=args.run_dir, resume=args.resume,
+                job_workers=max(1, args.job_workers),
+            )
+        except OSError as error:
+            raise ReproIOError(
+                f"cannot bind {args.host}:{args.port}: {error}",
+                hint="pick another --port (or 0 for an ephemeral "
+                     "one)") from error
+        server.start_background()
+        print(json.dumps({
+            "event": "serving",
+            "url": server.url,
+            "port": server.port,
+            "pid": os.getpid(),
+            "cache_dir": (None if args.no_cache else
+                          args.cache_dir or default_cache_dir()),
+            "run_dir": args.run_dir,
+        }, sort_keys=True), flush=True)
+        with GracefulShutdown() as stop:
+            while not stop.stop_requested():
+                time.sleep(0.1)
+        pending = server.shutdown(drain_timeout=args.drain_timeout)
+        if pending:
+            print(f"shutdown with {pending} job(s) unfinished; "
+                  f"restart with --run-dir {args.run_dir or '<dir>'} "
+                  "--resume to complete them", file=sys.stderr)
+            return EXIT_RESUMABLE
+        return 0
+
+    return run_cli(body, debug=args.debug, recorder=recorder)
+
+
+if __name__ == "__main__":  # pragma: no cover - console-script shim
+    sys.exit(main())

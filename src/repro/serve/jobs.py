@@ -1,0 +1,311 @@
+"""Async jobs: submit → 202 + id → poll, journaled for resume.
+
+A slow sweep should not hold an HTTP connection open for minutes.
+:class:`JobQueue` runs queries on background worker threads behind the
+standard async-job lifecycle:
+
+* **submit** validates and canonicalizes the query immediately (a
+  malformed body fails the POST, not the job) and returns the query's
+  *content key* as the job id — submissions are idempotent: the same
+  query twice is the same job once;
+* **poll** returns pending/running/done/failed, with the completed
+  response envelope (or the structured error) embedded when terminal;
+* **durability** rides on :class:`~repro.exec.journal.RunJournal`:
+  the spec is journaled at submit time (``serve-job-submit:<id>``) and
+  the response bytes at completion (``serve-job-result:<id>``), each a
+  single fsync'd append.  A killed server restarted with ``--resume``
+  replays completed results verbatim and **re-enqueues** every job
+  that was submitted but never finished (``serve.jobs.resumed``) — the
+  client's poll URL survives the crash.
+
+Workers call :meth:`AnalysisService.query_bytes`, so jobs share the
+coalescing map and result store with synchronous queries: a job and a
+blocking request for the same sweep still compute once.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from .. import obs
+from ..errors import ReproError
+from ..exec.journal import RunJournal
+from .service import AnalysisService
+
+__all__ = ["Job", "JobQueue",
+           "SUBMIT_PREFIX", "RESULT_PREFIX"]
+
+#: journal task-id prefixes (one submit + one result record per job)
+SUBMIT_PREFIX = "serve-job-submit:"
+RESULT_PREFIX = "serve-job-result:"
+
+_SUBMITTED = obs.counter("serve.jobs.submitted")
+_COMPLETED = obs.counter("serve.jobs.completed")
+_FAILED = obs.counter("serve.jobs.failed")
+_RESUMED = obs.counter("serve.jobs.resumed")
+_DEDUPED = obs.counter("serve.jobs.deduped")
+_PENDING = obs.gauge("serve.jobs.pending")
+
+
+def _error_payload(error: BaseException) -> Dict[str, Any]:
+    if isinstance(error, ReproError):
+        payload = {"code": error.code, "message": error.message}
+        if error.hint:
+            payload["hint"] = error.hint
+        if error.context:
+            payload["context"] = list(error.context)
+        return payload
+    return {"code": "E-INT",
+            "message": f"{type(error).__name__}: {error}"}
+
+
+class Job:
+    """One async query: spec + lifecycle state.
+
+    The id is the query's content key, so it is stable across server
+    restarts and identical submissions.
+    """
+
+    __slots__ = ("jid", "endpoint", "params", "status", "resumed",
+                 "submitted_at", "finished_at", "body", "error")
+
+    def __init__(self, jid: str, endpoint: str,
+                 params: Dict[str, Any], *, resumed: bool = False):
+        self.jid = jid
+        self.endpoint = endpoint
+        self.params = params
+        self.status = "pending"
+        self.resumed = resumed
+        self.submitted_at = time.time()
+        self.finished_at: Optional[float] = None
+        self.body: Optional[bytes] = None
+        self.error: Optional[Dict[str, Any]] = None
+
+    def payload(self) -> Dict[str, Any]:
+        """The poll-endpoint JSON for this job's current state."""
+        out: Dict[str, Any] = {
+            "job": self.jid,
+            "endpoint": self.endpoint,
+            "status": self.status,
+            "resumed": self.resumed,
+        }
+        if self.status == "done" and self.body is not None:
+            out["response"] = json.loads(self.body.decode("utf-8"))
+        if self.status == "failed" and self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+class JobQueue:
+    """Journal-backed worker pool over an :class:`AnalysisService`."""
+
+    def __init__(self, service: AnalysisService, *,
+                 run_dir: Optional[str] = None,
+                 resume: bool = False,
+                 workers: int = 2):
+        self.service = service
+        self._jobs: Dict[str, Job] = {}
+        self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        # one lock for the jobs dict AND the journal: RunJournal has no
+        # internal lock, and submit/complete must journal + publish
+        # atomically with respect to each other
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._idle = threading.Condition(self._lock)
+        self._journal: Optional[RunJournal] = None
+        if run_dir is not None:
+            self._journal = RunJournal(run_dir, resume=resume)
+            if resume:
+                self._recover()
+        # workers=0 is a test hook: jobs queue up but never run, which
+        # is how the recovery tests freeze a "killed mid-flight" state
+        self._workers = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"repro-serve-job-{i}", daemon=True)
+            for i in range(max(0, workers))
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # -- recovery ------------------------------------------------------
+    def _recover(self) -> None:
+        """Rebuild job state from the journal after a restart.
+
+        Completed jobs come back ``done`` with their journaled bytes;
+        jobs with a submit record but no verified result re-enter the
+        queue exactly as first submitted.
+        """
+        journal = self._journal
+        completed = set(journal.completed_ids())
+        for task_id in sorted(completed):
+            if not task_id.startswith(SUBMIT_PREFIX):
+                continue
+            jid = task_id[len(SUBMIT_PREFIX):]
+            spec = journal.replay(task_id)
+            if RunJournal.is_missing(spec):
+                continue
+            job = Job(jid, spec["endpoint"], spec["params"],
+                      resumed=True)
+            result_id = RESULT_PREFIX + jid
+            body = (journal.replay(result_id)
+                    if result_id in completed else None)
+            if isinstance(body, bytes):
+                job.status = "done"
+                job.body = body
+                job.finished_at = job.submitted_at
+            else:
+                _RESUMED.inc()
+                self._queue.put(jid)
+            self._jobs[jid] = job
+        _PENDING.set(self.pending_count())
+
+    # -- submission / polling ------------------------------------------
+    def submit(self, endpoint: str,
+               params: Mapping) -> Tuple[str, bool]:
+        """Validate, journal, and enqueue one query.
+
+        Returns ``(job id, created)``; ``created`` is False when the
+        identical query is already tracked (idempotent resubmit).
+        Raises :class:`~repro.errors.BindingError` on malformed input.
+        """
+        clean, key = self.service.canonical(endpoint, params)
+        with self._lock:
+            if key in self._jobs:
+                _DEDUPED.inc()
+                return key, False
+            job = Job(key, endpoint, clean)
+            self._jobs[key] = job
+            if self._journal is not None:
+                self._journal.record_ok(
+                    SUBMIT_PREFIX + key,
+                    {"endpoint": endpoint, "params": clean},
+                    key=key,
+                )
+            _SUBMITTED.inc()
+            _PENDING.set(self._pending_locked())
+        self._queue.put(key)
+        return key, True
+
+    def get(self, jid: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(jid)
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def pending_count(self) -> int:
+        with self._lock:
+            return self._pending_locked()
+
+    def _pending_locked(self) -> int:
+        return sum(1 for job in self._jobs.values()
+                   if job.status in ("pending", "running"))
+
+    # -- workers -------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                jid = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            if jid is None:  # drain sentinel
+                break
+            with self._lock:
+                job = self._jobs.get(jid)
+                if job is None or job.status != "pending":
+                    continue
+                job.status = "running"
+            self._run_job(job)
+
+    def _run_job(self, job: Job) -> None:
+        try:
+            body = self.service.query_bytes(job.endpoint, job.params)
+        except BaseException as error:
+            with self._lock:
+                job.status = "failed"
+                job.error = _error_payload(error)
+                job.finished_at = time.time()
+                if self._journal is not None:
+                    try:
+                        self._journal.record_failed(
+                            RESULT_PREFIX + job.jid, error)
+                    except Exception:  # journal already closed
+                        pass
+                _FAILED.inc()
+                _PENDING.set(self._pending_locked())
+                self._idle.notify_all()
+            return
+        with self._lock:
+            if self._journal is not None:
+                try:
+                    self._journal.record_ok(RESULT_PREFIX + job.jid,
+                                            body, key=job.jid)
+                except Exception:  # journal already closed mid-drain
+                    pass
+            job.body = body
+            job.status = "done"
+            job.finished_at = time.time()
+            _COMPLETED.inc()
+            _PENDING.set(self._pending_locked())
+            self._idle.notify_all()
+        self._record_history(job)
+
+    def _record_history(self, job: Job) -> None:
+        """One run-history record per completed job (best effort)."""
+        try:
+            obs.RunHistory().append({
+                "schema": 1,
+                "command": "repro-serve.job",
+                "config": {"endpoint": job.endpoint, "job": job.jid},
+                "started": round(job.submitted_at, 3),
+                "duration_s": round(
+                    (job.finished_at or job.submitted_at)
+                    - job.submitted_at, 6),
+                "exit_code": 0,
+                "status": "ok",
+                "resumed": job.resumed,
+            })
+        except Exception:
+            pass
+
+    # -- shutdown ------------------------------------------------------
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait until no job is pending/running; True when drained."""
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        with self._idle:
+            while self._pending_locked():
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(remaining
+                                if remaining is not None else 0.5)
+        return True
+
+    def close(self, *, drain_timeout: float = 0.0) -> int:
+        """Stop workers (optionally draining first), checkpoint the
+        journal; returns the number of jobs left unfinished."""
+        if drain_timeout > 0:
+            self.drain(drain_timeout)
+        self._stop.set()
+        for _ in self._workers:
+            self._queue.put(None)
+        for thread in self._workers:
+            thread.join(timeout=5.0)
+        pending = self.pending_count()
+        if self._journal is not None:
+            with self._lock:
+                self._journal.close()
+        return pending
+
+    def __enter__(self) -> "JobQueue":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,272 @@
+"""The HTTP shell: routing, error envelopes, lifecycle.
+
+A deliberately thin layer — every route is a few lines over
+:class:`~repro.serve.service.AnalysisService` and
+:class:`~repro.serve.jobs.JobQueue`:
+
+====================  ======  ====================================
+route                 method  handler
+====================  ======  ====================================
+``/healthz``          GET     liveness, uptime, pending jobs
+``/metrics``          GET     ``repro.obs`` OpenMetrics exposition
+``/v1/stats``         GET     JSON metrics snapshot (bench reads it)
+``/v1/jobs``          POST    async submit → 202 + job id
+``/v1/jobs/<id>``     GET     poll one job
+``/v1/<endpoint>``    POST    synchronous query (sweep/plan/...)
+====================  ======  ====================================
+
+Errors never leak tracebacks: a :class:`~repro.errors.ReproError`
+becomes a structured 400 body ``{"error": {"code", "message", "hint",
+"context"}}`` (E-BIND for malformed input), anything else a minimal
+E-INT 500.  Each request increments ``serve.http.<route>.requests``
+and lands its wall time in ``serve.http.<route>.latency_ns``.
+
+The server is ``ThreadingHTTPServer`` (one thread per connection,
+``daemon_threads=True``) speaking HTTP/1.1 with explicit
+Content-Length, so load generators can reuse keep-alive connections.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from .. import __version__, obs
+from ..errors import BindingError, ReproError
+from ..exec.store import ResultStore
+from .jobs import JobQueue
+from .service import AnalysisService, ENDPOINTS, canonical_json
+
+__all__ = ["ReproServer", "running_server", "MAX_BODY_BYTES"]
+
+#: request bodies larger than this are rejected outright (413)
+MAX_BODY_BYTES = 1 << 20
+
+_ERRORS_400 = obs.counter("serve.http.client_errors")
+_ERRORS_500 = obs.counter("serve.http.server_errors")
+
+
+def _error_body(code: str, message: str,
+                hint: Optional[str] = None,
+                context: Optional[Any] = None) -> bytes:
+    error: Dict[str, Any] = {"code": code, "message": message}
+    if hint:
+        error["hint"] = hint
+    if context:
+        error["context"] = context
+    return canonical_json({"error": error})
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # HTTP/1.1 + explicit Content-Length => keep-alive works, which
+    # the load generator depends on for realistic qps
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/" + __version__
+    # without TCP_NODELAY, Nagle + delayed ACK pins every keep-alive
+    # round trip at ~40ms regardless of how fast the store answers
+    disable_nagle_algorithm = True
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence the default stderr-per-request logging; the obs
+        counters/histograms are the request log."""
+
+    def _send(self, status: int, body: bytes,
+              content_type: str = "application/json") -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_payload(self, status: int, code: str,
+                            message: str,
+                            hint: Optional[str] = None,
+                            context: Optional[Any] = None,
+                            ) -> None:
+        (_ERRORS_400 if status < 500 else _ERRORS_500).inc()
+        self._send(status, _error_body(code, message, hint, context))
+
+    def _read_json_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise BindingError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise BindingError(
+                "empty request body; expected a JSON object",
+                hint='send e.g. {"domain": "word_lm"}')
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as error:
+            raise BindingError(
+                f"request body is not valid JSON: {error}") from None
+
+    def _route(self, method: str) -> None:
+        route = self.path.split("?", 1)[0].rstrip("/") or "/"
+        label = route.strip("/").replace("/", ".") or "root"
+        if route.startswith("/v1/jobs/"):
+            label = "v1.jobs.poll"
+        obs.counter(f"serve.http.{label}.requests").inc()
+        t0 = time.monotonic_ns()
+        try:
+            self._dispatch(method, route)
+        except ReproError as error:
+            self._send_error_payload(
+                400, error.code, error.message, error.hint,
+                list(error.context) if error.context else None)
+        except BrokenPipeError:  # client went away mid-response
+            pass
+        except Exception as error:
+            self._send_error_payload(
+                500, "E-INT",
+                f"internal error: {type(error).__name__}")
+        finally:
+            obs.histogram(f"serve.http.{label}.latency_ns").observe(
+                time.monotonic_ns() - t0)
+
+    def do_GET(self) -> None:
+        self._route("GET")
+
+    def do_POST(self) -> None:
+        self._route("POST")
+
+    # -- routes --------------------------------------------------------
+    def _dispatch(self, method: str, route: str) -> None:
+        server: "ReproServer" = self.server.repro  # type: ignore
+        if method == "GET":
+            if route == "/healthz":
+                return self._send(200, canonical_json(
+                    server.health_payload()))
+            if route == "/metrics":
+                text = obs.openmetrics_text()
+                return self._send(
+                    200, text.encode("utf-8"),
+                    "application/openmetrics-text; version=1.0.0; "
+                    "charset=utf-8")
+            if route == "/v1/stats":
+                return self._send(200, canonical_json(
+                    {"metrics": obs.snapshot()}))
+            if route.startswith("/v1/jobs/"):
+                jid = route[len("/v1/jobs/"):]
+                job = server.jobs.get(jid)
+                if job is None:
+                    return self._send_error_payload(
+                        404, "E-BIND", f"unknown job {jid!r}",
+                        "job ids are returned by POST /v1/jobs")
+                return self._send(200, canonical_json(job.payload()))
+            return self._send_error_payload(
+                404, "E-BIND", f"no GET route {route!r}",
+                "GET routes: /healthz /metrics /v1/stats "
+                "/v1/jobs/<id>")
+
+        if route == "/v1/jobs":
+            body = self._read_json_body()
+            if not isinstance(body, dict) or "endpoint" not in body:
+                raise BindingError(
+                    "job submission must be a JSON object with "
+                    "'endpoint' and 'params' fields",
+                    hint='e.g. {"endpoint": "sweep", "params": '
+                         '{"domain": "word_lm"}}')
+            jid, created = server.jobs.submit(
+                body["endpoint"], body.get("params") or {})
+            return self._send(202, canonical_json({
+                "job": jid,
+                "created": created,
+                "poll": f"/v1/jobs/{jid}",
+            }))
+        if route.startswith("/v1/"):
+            endpoint = route[len("/v1/"):]
+            if endpoint in ENDPOINTS:
+                params = self._read_json_body()
+                return self._send(
+                    200, server.service.query_bytes(endpoint, params))
+        return self._send_error_payload(
+            404, "E-BIND", f"no POST route {route!r}",
+            f"POST routes: /v1/jobs and /v1/{{{', '.join(sorted(ENDPOINTS))}}}")
+
+
+class ReproServer:
+    """The daemon: service + job queue + threading HTTP server."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 store: Optional[ResultStore] = None,
+                 run_dir: Optional[str] = None,
+                 resume: bool = False,
+                 job_workers: int = 2):
+        self.service = AnalysisService(store)
+        self.jobs = JobQueue(self.service, run_dir=run_dir,
+                             resume=resume, workers=job_workers)
+        self.httpd = ThreadingHTTPServer((host, port), _Handler)
+        self.httpd.daemon_threads = True
+        self.httpd.repro = self  # type: ignore[attr-defined]
+        self.started_at = time.time()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- addresses -----------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.httpd.server_address[:2]
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    # -- payloads ------------------------------------------------------
+    def health_payload(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "version": __version__,
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "pending_jobs": self.jobs.pending_count(),
+            "endpoints": self.service.endpoints(),
+        }
+
+    # -- lifecycle -----------------------------------------------------
+    def start_background(self) -> None:
+        """Serve on a daemon thread (tests, and the CLI main loop)."""
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-serve-http", daemon=True)
+        self._thread.start()
+
+    def shutdown(self, *, drain_timeout: float = 5.0) -> int:
+        """Graceful drain: stop accepting, drain jobs, checkpoint.
+
+        Returns the number of jobs left unfinished (0 on a clean
+        drain) — the CLI maps nonzero to ``EXIT_RESUMABLE``.
+        """
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        return self.jobs.close(drain_timeout=drain_timeout)
+
+
+@contextmanager
+def running_server(**kwargs: Any) -> Iterator[ReproServer]:
+    """An in-process server on an ephemeral port, torn down on exit.
+
+    The in-thread twin of ``tests.helpers.ServerFixture`` (which runs
+    the real console script in a subprocess); this one shares the
+    process with the caller so tests can assert on obs counters and
+    monkeypatch endpoints.
+    """
+    server = ReproServer(**kwargs)
+    server.start_background()
+    try:
+        yield server
+    finally:
+        server.shutdown(drain_timeout=5.0)

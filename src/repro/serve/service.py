@@ -1,0 +1,527 @@
+"""The query surface: validated endpoints + request coalescing.
+
+:class:`AnalysisService` is the in-process core of the server — the
+HTTP layer is a thin shell over :meth:`AnalysisService.query_bytes`.
+Each endpoint is a (normalize, compute, fingerprint) triple:
+
+* ``normalize`` validates a request body and resolves defaults into a
+  **canonical parameter dict** (malformed input raises
+  :class:`~repro.errors.BindingError`, which the HTTP layer renders as
+  structured E-BIND JSON with status 400);
+* the canonical params are folded into a **content key** via
+  :func:`repro.exec.store.content_key` together with the structural
+  hash of every graph the query reads — the same keying discipline as
+  :mod:`repro.exec.tasks`, so cache entries invalidate when formulas
+  or graphs change;
+* ``compute`` produces a JSON-able result dict, serialized once to
+  canonical bytes.
+
+**Coalescing**: when N identical queries are in flight, exactly one
+thread computes; the rest wait on the leader and receive the *same
+bytes object* (``serve.coalesce.hit`` counts the followers,
+``serve.query.computed`` counts actual computations).  Distinct keys
+never wait on each other's map entry — the registry lock is only held
+to look up / publish in-flight entries, never across a computation —
+so mixed query loads cannot deadlock.  Completed bytes are memoized in
+the content-addressed :class:`~repro.exec.store.ResultStore`
+(``exec.store.hit/miss`` then measure the warm path).
+
+Computation itself runs under one coarse lock: the analysis pipeline's
+memoized caches (sweep LRU, model registry, tape caches) predate
+multithreading, and the work is GIL-bound pure Python anyway — the
+lock removes every data race for the cost of serializing cache-cold
+computations.  Warm queries (store hits, coalesced followers) never
+touch it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from .. import obs
+from ..errors import BindingError, did_you_mean
+from ..exec.store import ResultStore, content_key
+
+__all__ = ["AnalysisService", "Endpoint", "ENDPOINTS",
+           "snapshot_exhibit", "canonical_json"]
+
+_COALESCE_HIT = obs.counter("serve.coalesce.hit")
+_COALESCE_MISS = obs.counter("serve.coalesce.miss")
+_COMPUTED = obs.counter("serve.query.computed")
+_QUERIES = obs.counter("serve.query.requests")
+_INFLIGHT = obs.gauge("serve.coalesce.inflight")
+
+
+def canonical_json(payload: Any) -> bytes:
+    """Deterministic JSON bytes: key-sorted, compact, UTF-8.
+
+    Every response body goes through this one serializer so identical
+    results are byte-identical — the property the coalescing and
+    differential tests assert.
+    """
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+# -- validation helpers ------------------------------------------------------
+
+def _reject(message: str, hint: Optional[str] = None) -> None:
+    raise BindingError(message, hint=hint)
+
+
+def _expect_mapping(params: Any, endpoint: str) -> Mapping:
+    if not isinstance(params, Mapping):
+        _reject(
+            f"/v1/{endpoint} request body must be a JSON object, got "
+            f"{type(params).__name__}",
+            hint='send e.g. {"domain": "word_lm"}',
+        )
+    return params
+
+
+def _check_fields(params: Mapping, allowed: Tuple[str, ...],
+                  endpoint: str) -> None:
+    for field in params:
+        if field not in allowed:
+            _reject(
+                f"unknown field {field!r} for /v1/{endpoint}; "
+                f"allowed: {sorted(allowed)}",
+                hint=did_you_mean(str(field), allowed),
+            )
+
+
+def _domain_param(params: Mapping) -> str:
+    from ..models.registry import DOMAINS
+
+    domain = params.get("domain")
+    if domain is None:
+        _reject("missing required field 'domain'",
+                hint=f"one of {sorted(DOMAINS)}")
+    if domain not in DOMAINS:
+        _reject(f"unknown domain {domain!r}; available: "
+                f"{sorted(DOMAINS)}",
+                hint=did_you_mean(str(domain), DOMAINS))
+    return domain
+
+
+def _positive_number(params: Mapping, field: str,
+                     default: Optional[float] = None,
+                     integer: bool = False) -> Optional[float]:
+    value = params.get(field, default)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        _reject(f"field {field!r} must be a number, got "
+                f"{type(value).__name__}")
+    if value <= 0:
+        _reject(f"field {field!r} must be positive, got {value!r}")
+    if integer:
+        if float(value) != int(value):
+            _reject(f"field {field!r} must be an integer, got "
+                    f"{value!r}")
+        return int(value)
+    return float(value)
+
+
+def _string_list(params: Mapping, field: str) -> Optional[List[str]]:
+    value = params.get(field)
+    if value is None:
+        return None
+    if (not isinstance(value, (list, tuple))
+            or not all(isinstance(v, str) for v in value)):
+        _reject(f"field {field!r} must be a list of strings")
+    return list(value)
+
+
+# -- endpoint: /v1/sweep -----------------------------------------------------
+
+_SWEEP_ENGINES = ("compiled", "treewalk", "codegen")
+_MAX_SWEEP_SIZES = 4096
+
+
+def _normalize_sweep(params: Mapping) -> Dict[str, Any]:
+    from ..models.registry import get_domain
+
+    params = _expect_mapping(params, "sweep")
+    _check_fields(params, ("domain", "subbatch", "sizes", "engine",
+                           "include_footprint"), "sweep")
+    domain = _domain_param(params)
+    entry = get_domain(domain)
+    subbatch = _positive_number(params, "subbatch", entry.subbatch,
+                                integer=True)
+    engine = params.get("engine", "compiled")
+    if engine not in _SWEEP_ENGINES:
+        _reject(f"unknown sweep engine {engine!r}; one of "
+                f"{list(_SWEEP_ENGINES)}",
+                hint=did_you_mean(str(engine), _SWEEP_ENGINES))
+    sizes = params.get("sizes")
+    if sizes is None:
+        sizes = list(entry.sweep_sizes)
+    if not isinstance(sizes, (list, tuple)) or len(sizes) < 2:
+        # sweep_domain fits a first-order model over the series and
+        # needs at least two points; reject here so the caller gets
+        # E-BIND instead of an internal fit error.
+        _reject("field 'sizes' must be a list of at least two "
+                "positive numbers")
+    if len(sizes) > _MAX_SWEEP_SIZES:
+        _reject(f"field 'sizes' is capped at {_MAX_SWEEP_SIZES} "
+                f"points per query, got {len(sizes)}",
+                hint="split the series across several queries or "
+                     "submit an async job per chunk")
+    clean_sizes = []
+    for value in sizes:
+        if isinstance(value, bool) or not isinstance(value,
+                                                     (int, float)) \
+                or value <= 0:
+            _reject(f"sweep sizes must be positive numbers, got "
+                    f"{value!r}")
+        clean_sizes.append(float(value))
+    include_footprint = params.get("include_footprint", True)
+    if not isinstance(include_footprint, bool):
+        _reject("field 'include_footprint' must be a boolean")
+    return {"domain": domain, "subbatch": subbatch,
+            "sizes": clean_sizes, "engine": engine,
+            "include_footprint": include_footprint}
+
+
+def _model_dict(model) -> Optional[Dict[str, Any]]:
+    if model is None:
+        return None
+    return {"domain": model.domain, "gamma": float(model.gamma),
+            "lam": float(model.lam), "mu": float(model.mu),
+            "delta": (None if model.delta is None
+                      else float(model.delta)),
+            "phi": float(model.phi)}
+
+
+def _compute_sweep(params: Dict[str, Any]) -> Dict[str, Any]:
+    from ..analysis.sweep import sweep_domain
+
+    result = sweep_domain(
+        params["domain"], subbatch=params["subbatch"],
+        sizes=tuple(params["sizes"]), engine=params["engine"],
+        include_footprint=params["include_footprint"],
+    )
+    return {
+        "domain": result.domain,
+        "subbatch": result.subbatch,
+        "engine": params["engine"],
+        "rows": [asdict(row) for row in result.rows],
+        "fitted": _model_dict(result.fitted),
+        "symbolic": _model_dict(result.symbolic),
+    }
+
+
+def _fingerprint_domain(params: Dict[str, Any]) -> str:
+    from ..exec.tasks import domain_hash
+
+    return domain_hash(params["domain"])
+
+
+# -- endpoint: /v1/plan ------------------------------------------------------
+
+def _normalize_plan(params: Mapping) -> Dict[str, Any]:
+    params = _expect_mapping(params, "plan")
+    _check_fields(params, ("domain", "params", "tolerance",
+                           "max_subbatch"), "plan")
+    domain = _domain_param(params)
+    n_params = _positive_number(params, "params")
+    if n_params is None:
+        from ..scaling.project import project_all
+
+        n_params = float(project_all()[domain].target_params)
+    tolerance = _positive_number(params, "tolerance", 0.05)
+    if tolerance >= 1.0:
+        _reject(f"field 'tolerance' must be in (0, 1), got "
+                f"{tolerance!r}")
+    max_subbatch = _positive_number(params, "max_subbatch",
+                                    float(2 ** 18))
+    return {"domain": domain, "params": n_params,
+            "tolerance": tolerance, "max_subbatch": max_subbatch}
+
+
+def _compute_plan(params: Dict[str, Any]) -> Dict[str, Any]:
+    from ..analysis.sweep import sweep_domain
+    from ..hardware.accelerator import V100_LIKE
+    from ..hardware.roofline import roofline_time
+    from ..planner.subbatch import choose_subbatch
+
+    domain = params["domain"]
+    n_params = params["params"]
+    model = sweep_domain(domain).symbolic
+    choice = choose_subbatch(model, n_params, V100_LIKE,
+                             tolerance=params["tolerance"],
+                             max_subbatch=params["max_subbatch"])
+    b = choice.chosen
+    ct = float(model.step_flops(n_params, b))
+    at = float(model.step_bytes(n_params, b))
+    rt = roofline_time(ct, at, V100_LIKE)
+    footprint = (float(model.footprint_bytes(n_params, b))
+                 if model.delta is not None else None)
+    return {
+        "domain": domain,
+        "params": n_params,
+        "accelerator": V100_LIKE.name,
+        "choice": {k: (int(v) if k == "chosen" else float(v))
+                   for k, v in asdict(choice).items()},
+        "step_flops": ct,
+        "step_bytes": at,
+        "step_time_s": float(rt.step_time),
+        "compute_time_s": float(rt.compute_time),
+        "memory_time_s": float(rt.memory_time),
+        "footprint_bytes": footprint,
+    }
+
+
+# -- endpoint: /v1/lint ------------------------------------------------------
+
+def _normalize_lint(params: Mapping) -> Dict[str, Any]:
+    from ..models.registry import DOMAINS
+
+    params = _expect_mapping(params, "lint")
+    _check_fields(params, ("domains", "select", "ignore"), "lint")
+    domains = _string_list(params, "domains")
+    if domains is not None:
+        for key in domains:
+            if key not in DOMAINS:
+                _reject(f"unknown domain {key!r}; available: "
+                        f"{sorted(DOMAINS)}",
+                        hint=did_you_mean(key, DOMAINS))
+        domains = sorted(set(domains))
+    return {"domains": domains,
+            "select": _string_list(params, "select"),
+            "ignore": _string_list(params, "ignore") or []}
+
+
+def _compute_lint(params: Dict[str, Any]) -> Dict[str, Any]:
+    from ..check import ERROR, INFO, WARNING
+    from ..check.driver import lint_registry
+
+    per_domain = lint_registry(
+        params["domains"],
+        select=params["select"],
+        ignore=tuple(params["ignore"]),
+    )
+    counts = {ERROR: 0, WARNING: 0, INFO: 0}
+    for diagnostics in per_domain.values():
+        for d in diagnostics:
+            counts[d.severity] += 1
+    return {
+        "graphs": {key: [d.to_dict() for d in diagnostics]
+                   for key, diagnostics in per_domain.items()},
+        "summary": counts,
+    }
+
+
+def _fingerprint_lint(params: Dict[str, Any]) -> str:
+    from ..exec.tasks import registry_fingerprint
+
+    return registry_fingerprint(params["domains"])
+
+
+# -- endpoint: /v1/exhibit ---------------------------------------------------
+
+def snapshot_exhibit(report: Any) -> Dict[str, Any]:
+    """Plain-JSON cells of a Table or Figure report object.
+
+    The shape matches the golden suite's snapshots exactly
+    (``tests/golden/_compare.snapshot_exhibit``), so the differential
+    tests can diff a served payload against an in-process regeneration
+    with the same tolerance helpers.
+    """
+    from ..reports import Figure, Table
+
+    if isinstance(report, Table):
+        return {
+            "kind": "table",
+            "title": report.title,
+            "headers": [str(h) for h in report.headers],
+            "rows": [[str(c) for c in row] for row in report.rows],
+            "notes": [str(n) for n in report.notes],
+        }
+    if isinstance(report, Figure):
+        return {
+            "kind": "figure",
+            "title": report.title,
+            "x_label": report.x_label,
+            "y_label": report.y_label,
+            "series": [
+                {"label": s.label,
+                 "x": [float(v) for v in s.x],
+                 "y": [float(v) for v in s.y]}
+                for s in report.series
+            ],
+        }
+    raise TypeError(f"cannot snapshot {type(report).__name__}")
+
+
+def _normalize_exhibit(params: Mapping) -> Dict[str, Any]:
+    from ..reports import ALL_REPORTS
+
+    params = _expect_mapping(params, "exhibit")
+    _check_fields(params, ("name",), "exhibit")
+    name = params.get("name")
+    if name is None:
+        _reject("missing required field 'name'",
+                hint=f"one of {sorted(ALL_REPORTS)}")
+    if name not in ALL_REPORTS:
+        _reject(f"unknown exhibit {name!r}; available: "
+                f"{sorted(ALL_REPORTS)}",
+                hint=did_you_mean(str(name), ALL_REPORTS))
+    return {"name": name}
+
+
+def _compute_exhibit(params: Dict[str, Any]) -> Dict[str, Any]:
+    from ..reports import ALL_REPORTS
+
+    return snapshot_exhibit(ALL_REPORTS[params["name"]]())
+
+
+def _fingerprint_registry(params: Dict[str, Any]) -> str:
+    from ..exec.tasks import registry_fingerprint
+
+    return registry_fingerprint()
+
+
+# -- the endpoint registry ---------------------------------------------------
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One query surface: validate → key → compute."""
+
+    name: str
+    normalize: Callable[[Mapping], Dict[str, Any]]
+    compute: Callable[[Dict[str, Any]], Any]
+    #: graph-state component of the content key (structural hashes of
+    #: whatever the computation reads); "" for state-free endpoints
+    fingerprint: Callable[[Dict[str, Any]], str] = lambda params: ""
+
+
+ENDPOINTS: Dict[str, Endpoint] = {
+    "sweep": Endpoint("sweep", _normalize_sweep, _compute_sweep,
+                      _fingerprint_domain),
+    "plan": Endpoint("plan", _normalize_plan, _compute_plan,
+                     _fingerprint_domain),
+    "lint": Endpoint("lint", _normalize_lint, _compute_lint,
+                     _fingerprint_lint),
+    "exhibit": Endpoint("exhibit", _normalize_exhibit,
+                        _compute_exhibit, _fingerprint_registry),
+}
+
+
+class _InFlight:
+    """One leader computation other threads can wait on."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Optional[bytes] = None
+        self.error: Optional[BaseException] = None
+
+
+class AnalysisService:
+    """Coalescing, store-backed executor for the endpoint registry."""
+
+    def __init__(self, store: Optional[ResultStore] = None):
+        self.store = store
+        self._registry_lock = threading.Lock()
+        self._compute_lock = threading.Lock()
+        self._inflight: Dict[str, _InFlight] = {}
+
+    # -- keys ----------------------------------------------------------
+    def endpoints(self) -> List[str]:
+        return sorted(ENDPOINTS)
+
+    def canonical(self, endpoint: str,
+                  params: Mapping) -> Tuple[Dict[str, Any], str]:
+        """(canonical params, content key) for one request.
+
+        Raises :class:`~repro.errors.BindingError` on an unknown
+        endpoint or malformed parameters — the HTTP layer maps that to
+        a structured 400.
+        """
+        spec = ENDPOINTS.get(endpoint)
+        if spec is None:
+            raise BindingError(
+                f"unknown endpoint {endpoint!r}; available: "
+                f"{sorted(ENDPOINTS)}",
+                hint=did_you_mean(str(endpoint), ENDPOINTS),
+            )
+        clean = spec.normalize(params)
+        key = content_key("serve", endpoint, clean,
+                          spec.fingerprint(clean))
+        return clean, key
+
+    # -- queries -------------------------------------------------------
+    def query(self, endpoint: str, params: Mapping) -> Dict[str, Any]:
+        """Parsed JSON envelope of :meth:`query_bytes` (test helper)."""
+        return json.loads(self.query_bytes(endpoint, params))
+
+    def query_bytes(self, endpoint: str, params: Mapping) -> bytes:
+        """One coalesced, cached query; returns the response bytes.
+
+        The envelope is ``{"endpoint", "key", "params", "result"}`` —
+        deterministic canonical JSON, so every caller of an identical
+        query receives byte-identical bodies no matter whether they
+        hit the in-flight map, the result store, or the computation.
+        """
+        _QUERIES.inc()
+        clean, key = self.canonical(endpoint, params)
+
+        with self._registry_lock:
+            entry = self._inflight.get(key)
+            if entry is None:
+                mine = _InFlight()
+                self._inflight[key] = mine
+                _INFLIGHT.set(len(self._inflight))
+            else:
+                mine = None
+        if mine is None:
+            # follower: the leader's bytes (or its error) are ours
+            _COALESCE_HIT.inc()
+            entry.event.wait()
+            if entry.error is not None:
+                raise entry.error
+            return entry.value
+
+        _COALESCE_MISS.inc()
+        try:
+            body = self._lookup_or_compute(endpoint, clean, key)
+            mine.value = body
+            return body
+        except BaseException as error:
+            mine.error = error
+            raise
+        finally:
+            with self._registry_lock:
+                self._inflight.pop(key, None)
+                _INFLIGHT.set(len(self._inflight))
+            mine.event.set()
+
+    def _lookup_or_compute(self, endpoint: str,
+                           clean: Dict[str, Any], key: str) -> bytes:
+        if self.store is not None:
+            cached = self.store.get(key)
+            if isinstance(cached, bytes):
+                return cached
+        spec = ENDPOINTS[endpoint]
+        # one computation at a time: the pipeline's memoized caches
+        # are not thread-safe and the work is GIL-bound anyway
+        with self._compute_lock:
+            with obs.span("serve.compute", "serve", endpoint=endpoint,
+                          key=key[:12]):
+                result = spec.compute(clean)
+        _COMPUTED.inc()
+        body = canonical_json({
+            "endpoint": endpoint,
+            "key": key,
+            "params": clean,
+            "result": result,
+        })
+        if self.store is not None:
+            self.store.put(key, body)
+        return body

@@ -1,13 +1,182 @@
-"""Shared test utilities: numeric gradient checking of graph ops."""
+"""Shared test utilities: gradient checking + server fixtures.
+
+* :func:`gradient_check` — numeric gradient checking of graph ops;
+* :func:`free_port` / :class:`ServerFixture` — run the real
+  ``repro-serve`` daemon in a subprocess on an ephemeral port with
+  guaranteed teardown (the `server`-marked suite uses it; in-process
+  tests use :func:`repro.serve.running_server` instead).
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.graph import Graph, Tensor, differentiate
 from repro.runtime import execute_graph, make_feeds
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def free_port() -> int:
+    """An ephemeral TCP port that was free a moment ago.
+
+    Subject to the usual bind race; :class:`ServerFixture` prefers
+    ``--port 0`` + the announce line, which has no race at all — this
+    helper exists for tests that must know the port *before* the
+    process starts (e.g. restart-on-same-port scenarios).
+    """
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def http_get(url: str, timeout: float = 10.0) -> Tuple[int, Any]:
+    """(status, parsed JSON) for a GET; HTTP errors return their body."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def http_post(url: str, payload: Any,
+              timeout: float = 120.0) -> Tuple[int, Any]:
+    """(status, parsed JSON) for a JSON POST; 4xx/5xx return bodies."""
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request,
+                                    timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class ServerFixture:
+    """The real ``repro-serve`` daemon in a subprocess.
+
+    ::
+
+        with ServerFixture(run_dir=tmp, resume=False) as server:
+            status, body = server.post("/v1/sweep",
+                                       {"domain": "word_lm"})
+
+    Starts ``python -m repro.serve`` with ``PYTHONPATH=src`` on an
+    ephemeral port, reads the JSON announce line for the URL, waits
+    for ``/healthz``, and guarantees teardown (SIGTERM, then SIGKILL
+    after a grace period) however the test exits.
+    """
+
+    def __init__(self, *, run_dir: Optional[str] = None,
+                 resume: bool = False,
+                 cache_dir: Optional[str] = None,
+                 no_cache: bool = False,
+                 job_workers: int = 2,
+                 port: int = 0,
+                 extra_env: Optional[Mapping[str, str]] = None,
+                 startup_timeout: float = 60.0):
+        argv = [sys.executable, "-m", "repro.serve",
+                "--port", str(port),
+                "--job-workers", str(job_workers)]
+        if run_dir:
+            argv += ["--run-dir", run_dir]
+        if resume:
+            argv += ["--resume"]
+        if cache_dir:
+            argv += ["--cache-dir", cache_dir]
+        if no_cache:
+            argv += ["--no-cache"]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        env["PYTHONUNBUFFERED"] = "1"
+        if extra_env:
+            env.update(extra_env)
+        self.process = subprocess.Popen(
+            argv, cwd=REPO_ROOT, env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True)
+        self.url = ""
+        self.port = 0
+        try:
+            self._wait_ready(startup_timeout)
+        except Exception:
+            self.kill()
+            raise
+
+    # -- startup -------------------------------------------------------
+    def _wait_ready(self, timeout: float) -> None:
+        deadline = time.monotonic() + timeout
+        line = self.process.stdout.readline()
+        if not line:
+            raise RuntimeError(
+                "repro-serve exited before announcing: "
+                + (self.process.stderr.read() or "")[-2000:])
+        announce = json.loads(line)
+        assert announce["event"] == "serving", announce
+        self.url = announce["url"]
+        self.port = announce["port"]
+        while time.monotonic() < deadline:
+            try:
+                status, body = http_get(self.url + "/healthz",
+                                        timeout=2.0)
+                if status == 200 and body.get("status") == "ok":
+                    return
+            except (OSError, ValueError):
+                pass
+            time.sleep(0.05)
+        raise RuntimeError("repro-serve never became healthy")
+
+    # -- requests ------------------------------------------------------
+    def get(self, path: str, timeout: float = 30.0) -> Tuple[int, Any]:
+        return http_get(self.url + path, timeout=timeout)
+
+    def post(self, path: str, payload: Any,
+             timeout: float = 120.0) -> Tuple[int, Any]:
+        return http_post(self.url + path, payload, timeout=timeout)
+
+    # -- teardown ------------------------------------------------------
+    def terminate(self, timeout: float = 30.0) -> int:
+        """Graceful SIGTERM stop; returns the exit code."""
+        if self.process.poll() is None:
+            self.process.send_signal(signal.SIGTERM)
+            try:
+                self.process.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                self.kill()
+        self._drain_pipes()
+        return self.process.returncode
+
+    def kill(self) -> None:
+        """Hard SIGKILL (the fault-injection path)."""
+        if self.process.poll() is None:
+            self.process.kill()
+            self.process.wait(timeout=10.0)
+        self._drain_pipes()
+
+    def _drain_pipes(self) -> None:
+        for pipe in (self.process.stdout, self.process.stderr):
+            if pipe and not pipe.closed:
+                pipe.read()
+                pipe.close()
+
+    def __enter__(self) -> "ServerFixture":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.terminate()
 
 
 def gradient_check(

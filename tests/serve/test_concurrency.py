@@ -1,0 +1,203 @@
+"""Coalescing semantics under concurrency.
+
+The contract: N threads issuing the identical in-flight query observe
+exactly **one** underlying computation (proved via the
+``serve.coalesce.hit`` / ``serve.query.computed`` counters, not
+timing) and receive byte-identical bodies; distinct queries never wait
+on each other's map entry, so mixed loads cannot deadlock.
+
+The slow endpoint here blocks on an event the test releases only after
+the counters show every follower parked on the leader — the
+single-computation assertion is deterministic, not a sleep race.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.errors import BindingError
+from repro.exec.store import ResultStore
+from repro.serve import ENDPOINTS, AnalysisService, Endpoint, \
+    running_server
+
+COMPUTE_CALLS = obs.counter("serve.test.compute_calls")
+
+
+def _test_endpoint(delay: float = 0.0,
+                   gate: "threading.Event" = None) -> Endpoint:
+    """A controllable endpoint: optionally sleeps or blocks on a gate,
+    then echoes its tag."""
+
+    def normalize(params):
+        if not isinstance(params, dict) or "tag" not in params:
+            raise BindingError("missing required field 'tag'")
+        return {"tag": str(params["tag"])}
+
+    def compute(params):
+        COMPUTE_CALLS.inc()
+        if gate is not None:
+            assert gate.wait(timeout=30), "test gate never released"
+        if delay:
+            time.sleep(delay)
+        return {"tag": params["tag"]}
+
+    return Endpoint("slowtest", normalize, compute)
+
+
+def _post_raw(url: str, payload: dict) -> bytes:
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=60) as response:
+        assert response.status == 200
+        return response.read()
+
+
+def _fan_out(url: str, payloads) -> list:
+    bodies = [None] * len(payloads)
+    errors = []
+
+    def worker(i, payload):
+        try:
+            bodies[i] = _post_raw(url, payload)
+        except Exception as error:  # pragma: no cover - test plumbing
+            errors.append(error)
+
+    threads = [threading.Thread(target=worker, args=(i, p))
+               for i, p in enumerate(payloads)]
+    for t in threads:
+        t.start()
+    return threads, bodies, errors
+
+
+def _join_all(threads, errors, timeout=60.0):
+    for t in threads:
+        t.join(timeout=timeout)
+    assert not any(t.is_alive() for t in threads), \
+        "request threads deadlocked"
+    assert not errors, errors
+
+
+def _wait_counter(counter, target, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while counter.value < target:
+        assert time.monotonic() < deadline, \
+            f"{counter.value} < {target} after {timeout}s"
+        time.sleep(0.005)
+
+
+def test_identical_queries_compute_once(monkeypatch):
+    gate = threading.Event()
+    monkeypatch.setitem(ENDPOINTS, "slowtest",
+                        _test_endpoint(gate=gate))
+    with running_server(store=None) as server:
+        hits = obs.counter("serve.coalesce.hit")
+        hits0 = hits.value
+        computed0 = obs.counter("serve.query.computed").value
+        calls0 = COMPUTE_CALLS.value
+
+        n = 8
+        threads, bodies, errors = _fan_out(
+            server.url + "/v1/slowtest", [{"tag": "same"}] * n)
+        # hold the leader inside compute until every follower is
+        # provably parked on its in-flight event
+        _wait_counter(hits, hits0 + n - 1)
+        gate.set()
+        _join_all(threads, errors)
+
+        assert COMPUTE_CALLS.value - calls0 == 1
+        assert obs.counter("serve.query.computed").value \
+            - computed0 == 1
+        assert hits.value - hits0 == n - 1
+        assert len(set(bodies)) == 1, "bodies were not byte-identical"
+
+
+def test_mixed_distinct_queries_never_deadlock(tmp_path, monkeypatch):
+    monkeypatch.setitem(ENDPOINTS, "slowtest",
+                        _test_endpoint(delay=0.05))
+    store = ResultStore(str(tmp_path / "store"))
+    with running_server(store=store) as server:
+        calls0 = COMPUTE_CALLS.value
+        distinct = 4
+        per_tag = 4
+        payloads = [{"tag": f"tag-{i % distinct}"}
+                    for i in range(distinct * per_tag)]
+        threads, bodies, errors = _fan_out(
+            server.url + "/v1/slowtest", payloads)
+        _join_all(threads, errors)
+
+        # one computation per distinct tag: overlapping duplicates
+        # coalesce, late duplicates hit the store
+        assert COMPUTE_CALLS.value - calls0 == distinct
+        by_tag = {}
+        for payload, body in zip(payloads, bodies):
+            by_tag.setdefault(payload["tag"], set()).add(body)
+        for tag, variants in by_tag.items():
+            assert len(variants) == 1, f"{tag}: divergent bodies"
+        assert len(set().union(*by_tag.values())) == distinct
+
+
+def test_leader_error_propagates_to_followers(monkeypatch):
+    """A failing leader fails every coalesced follower too — nobody
+    hangs on the in-flight event."""
+
+    def normalize(params):
+        return {"x": 1}
+
+    def compute(params):
+        time.sleep(0.1)
+        raise BindingError("computation exploded")
+
+    monkeypatch.setitem(ENDPOINTS, "boom",
+                        Endpoint("boom", normalize, compute))
+    service = AnalysisService(store=None)
+    results = []
+
+    def worker():
+        with pytest.raises(BindingError):
+            service.query_bytes("boom", {})
+        results.append(True)
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert results == [True] * 4
+    # the failed query left no stuck in-flight entry behind
+    assert not service._inflight
+
+
+def test_store_serves_warm_queries_without_recompute(tmp_path,
+                                                     monkeypatch):
+    monkeypatch.setitem(ENDPOINTS, "slowtest", _test_endpoint())
+    store = ResultStore(str(tmp_path / "store"))
+    with running_server(store=store) as server:
+        calls0 = COMPUTE_CALLS.value
+        store_hits0 = obs.counter("exec.store.hit").value
+        first = _post_raw(server.url + "/v1/slowtest", {"tag": "w"})
+        second = _post_raw(server.url + "/v1/slowtest", {"tag": "w"})
+        assert first == second
+        assert COMPUTE_CALLS.value - calls0 == 1
+        assert obs.counter("exec.store.hit").value - store_hits0 == 1
+
+
+def test_store_survives_restart(tmp_path, monkeypatch):
+    """A new server over the same store answers without recomputing —
+    the persistent half of the warm path."""
+    monkeypatch.setitem(ENDPOINTS, "slowtest", _test_endpoint())
+    calls0 = COMPUTE_CALLS.value
+    with running_server(
+            store=ResultStore(str(tmp_path / "store"))) as server:
+        first = _post_raw(server.url + "/v1/slowtest", {"tag": "p"})
+    with running_server(
+            store=ResultStore(str(tmp_path / "store"))) as server:
+        second = _post_raw(server.url + "/v1/slowtest", {"tag": "p"})
+    assert first == second
+    assert COMPUTE_CALLS.value - calls0 == 1

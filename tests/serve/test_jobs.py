@@ -1,0 +1,170 @@
+"""Job-queue lifecycle, idempotency, and journal-backed recovery.
+
+The fault injection here is surgical rather than process-level (the
+`server`-marked subprocess suite kills a real daemon): a queue built
+with ``workers=0`` accepts and journals jobs that never run — exactly
+the state a SIGKILL mid-flight leaves behind — and a second queue over
+the same run dir must resume them.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.errors import BindingError
+from repro.exec.journal import RunJournal
+from repro.serve import ENDPOINTS, AnalysisService, Endpoint, JobQueue
+from repro.serve.jobs import RESULT_PREFIX, SUBMIT_PREFIX
+
+
+@pytest.fixture
+def echo_endpoint(monkeypatch):
+    def normalize(params):
+        if not isinstance(params, dict) or "tag" not in params:
+            raise BindingError("missing required field 'tag'")
+        return {"tag": str(params["tag"])}
+
+    def compute(params):
+        return {"tag": params["tag"], "answer": 42}
+
+    monkeypatch.setitem(ENDPOINTS, "echo",
+                        Endpoint("echo", normalize, compute))
+
+
+def wait_done(queue, jid, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        job = queue.get(jid)
+        if job.status in ("done", "failed"):
+            return job
+        time.sleep(0.01)
+    raise AssertionError(f"job {jid} never finished")
+
+
+def test_job_lifecycle_matches_sync_query(echo_endpoint):
+    service = AnalysisService(store=None)
+    with JobQueue(service, workers=1) as queue:
+        jid, created = queue.submit("echo", {"tag": "a"})
+        assert created
+        job = wait_done(queue, jid)
+        assert job.status == "done"
+        payload = job.payload()
+        assert payload["job"] == jid
+        assert payload["response"] == service.query("echo",
+                                                    {"tag": "a"})
+
+
+def test_submit_is_idempotent(echo_endpoint):
+    service = AnalysisService(store=None)
+    with JobQueue(service, workers=1) as queue:
+        jid1, created1 = queue.submit("echo", {"tag": "b"})
+        jid2, created2 = queue.submit("echo", {"tag": "b"})
+        assert jid1 == jid2
+        assert created1 and not created2
+        wait_done(queue, jid1)
+
+
+def test_malformed_submission_rejected_before_queueing(echo_endpoint):
+    service = AnalysisService(store=None)
+    with JobQueue(service, workers=1) as queue:
+        with pytest.raises(BindingError):
+            queue.submit("echo", {"nope": 1})
+        with pytest.raises(BindingError):
+            queue.submit("no-such-endpoint", {})
+        assert queue.jobs() == []
+
+
+def test_failed_job_reports_structured_error(monkeypatch):
+    def normalize(params):
+        return {}
+
+    def compute(params):
+        raise BindingError("exploded", hint="try later")
+
+    monkeypatch.setitem(ENDPOINTS, "boom",
+                        Endpoint("boom", normalize, compute))
+    service = AnalysisService(store=None)
+    with JobQueue(service, workers=1) as queue:
+        jid, _ = queue.submit("boom", {})
+        job = wait_done(queue, jid)
+        assert job.status == "failed"
+        payload = job.payload()
+        assert payload["error"]["code"] == "E-BIND"
+        assert payload["error"]["message"] == "exploded"
+        assert payload["error"]["hint"] == "try later"
+
+
+def test_unfinished_jobs_resume_after_restart(echo_endpoint,
+                                              tmp_path):
+    run_dir = str(tmp_path / "run")
+    service = AnalysisService(store=None)
+
+    # workers=0: the job is journaled at submit but never runs — the
+    # state a SIGKILL mid-flight leaves on disk
+    frozen = JobQueue(service, run_dir=run_dir, workers=0)
+    jid, _ = frozen.submit("echo", {"tag": "resume-me"})
+    assert frozen.close() == 1  # one job left unfinished
+
+    resumed0 = obs.counter("serve.jobs.resumed").value
+    with JobQueue(service, run_dir=run_dir, resume=True,
+                  workers=1) as queue:
+        job = queue.get(jid)
+        assert job is not None and job.resumed
+        job = wait_done(queue, jid)
+        assert job.status == "done"
+        assert job.payload()["response"] == service.query(
+            "echo", {"tag": "resume-me"})
+    assert obs.counter("serve.jobs.resumed").value - resumed0 == 1
+
+
+def test_completed_jobs_replay_bytes_verbatim(echo_endpoint,
+                                              tmp_path):
+    run_dir = str(tmp_path / "run")
+    service = AnalysisService(store=None)
+    with JobQueue(service, run_dir=run_dir, workers=1) as queue:
+        jid, _ = queue.submit("echo", {"tag": "done-before-kill"})
+        body = wait_done(queue, jid).body
+        assert isinstance(body, bytes)
+
+    with JobQueue(service, run_dir=run_dir, resume=True,
+                  workers=0) as queue:
+        job = queue.get(jid)
+        assert job.status == "done"
+        assert job.body == body
+        # a finished job is not re-enqueued
+        assert queue.pending_count() == 0
+
+
+def test_journal_records_use_stable_prefixes(echo_endpoint,
+                                             tmp_path):
+    """The journal task-id contract other layers (and the resume scan)
+    rely on: one submit record, one result record, keyed by job id."""
+    run_dir = str(tmp_path / "run")
+    service = AnalysisService(store=None)
+    with JobQueue(service, run_dir=run_dir, workers=1) as queue:
+        jid, _ = queue.submit("echo", {"tag": "c"})
+        wait_done(queue, jid)
+
+    journal = RunJournal(run_dir, resume=True)
+    try:
+        completed = journal.completed_ids()
+        assert SUBMIT_PREFIX + jid in completed
+        assert RESULT_PREFIX + jid in completed
+    finally:
+        journal.close()
+
+
+def test_fresh_run_dir_without_resume_wipes_jobs(echo_endpoint,
+                                                 tmp_path):
+    run_dir = str(tmp_path / "run")
+    service = AnalysisService(store=None)
+    frozen = JobQueue(service, run_dir=run_dir, workers=0)
+    frozen.submit("echo", {"tag": "lost"})
+    frozen.close()
+
+    with JobQueue(service, run_dir=run_dir, resume=False,
+                  workers=0) as queue:
+        assert queue.jobs() == []
