@@ -28,6 +28,7 @@ FLOORS = Path(__file__).resolve().parent / "BENCH_floors.json"
 #: floors section -> recorded artifact at the repo root
 SECTION_FILES = {
     "server": "BENCH_server.json",
+    "server_resilience": "BENCH_server_resilience.json",
 }
 DEFAULT_FILE = "BENCH_compile_eval.json"
 

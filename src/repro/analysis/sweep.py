@@ -35,6 +35,7 @@ from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Tuple
 
 from .. import obs
+from ..deadline import check_deadline
 from ..errors import error_context
 from ..models.registry import DomainEntry, build_symbolic, get_domain
 from .counters import StepCounts
@@ -192,6 +193,8 @@ def _compute_sweep_rows(key: str, sizes: Sequence[float],
         with obs.span("sweep.aggregates", "sweep", domain=key):
             series = counts.sweep_series(sizes, subbatch, engine=engine)
         for i, size in enumerate(sizes):
+            check_deadline("sweep", domain=key, points_done=len(rows),
+                           points_total=len(sizes))
             with obs.span("sweep.point", "sweep", domain=key,
                           size=size):
                 rows.append(SweepRow(
@@ -209,6 +212,8 @@ def _compute_sweep_rows(key: str, sizes: Sequence[float],
     else:
         # seed path: one recursive tree walk per aggregate per size
         for size in sizes:
+            check_deadline("sweep", domain=key, points_done=len(rows),
+                           points_total=len(sizes))
             with obs.span("sweep.point", "sweep", domain=key,
                           size=size):
                 bindings = counts.bind(size, subbatch)

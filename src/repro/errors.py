@@ -35,7 +35,8 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 __all__ = [
     "ReproError", "BindingError", "SolveError", "NumericError",
-    "ReproIOError", "RunInterrupted", "error_context", "did_you_mean",
+    "ReproIOError", "RunInterrupted", "BusyError", "DeadlineError",
+    "WorkerCrashError", "error_context", "did_you_mean",
     "render_error", "EXIT_OK", "EXIT_ERROR", "EXIT_RESUMABLE",
 ]
 
@@ -180,6 +181,66 @@ class RunInterrupted(ReproError):
         super().__init__(message, hint=hint, context=context)
         self.results = dict(results or {})
         self.pending = tuple(pending)
+
+
+class BusyError(ReproError):
+    """E-BUSY: the server shed this request under overload.
+
+    Raised when an admission queue is full, a rate limit is exceeded,
+    or a circuit breaker is open.  ``retry_after`` is the advisory
+    wait in seconds before retrying; the HTTP layer maps the error to
+    status 429 and surfaces it as a ``Retry-After`` header.
+    """
+
+    code = "E-BUSY"
+
+    def __init__(self, message: str, *, retry_after: float = 1.0,
+                 hint: Optional[str] = None, context=None):
+        super().__init__(message, hint=hint, context=context)
+        self.retry_after = float(retry_after)
+
+    def render(self) -> str:
+        return (f"{super().render()} "
+                f"[retry after {self.retry_after:g}s]")
+
+
+class DeadlineError(ReproError):
+    """E-DEADLINE: the request's wall-clock budget expired mid-work.
+
+    Raised cooperatively by :func:`repro.deadline.check_deadline` from
+    the sweep/solver/planner inner loops.  ``progress`` carries the
+    partial-progress diagnostics (stage reached, units completed,
+    elapsed budget) so a 504 body tells the caller how far the work
+    got before the budget ran out.
+    """
+
+    code = "E-DEADLINE"
+
+    def __init__(self, message: str, *, hint: Optional[str] = None,
+                 context=None,
+                 progress: Optional[Mapping[str, Any]] = None):
+        super().__init__(message, hint=hint, context=context)
+        self.progress: Dict[str, Any] = dict(progress or {})
+
+    def render(self) -> str:
+        base = super().render()
+        if self.progress:
+            detail = ", ".join(f"{k}={v}"
+                               for k, v in sorted(self.progress.items()))
+            base = f"{base} [progress: {detail}]"
+        return base
+
+
+class WorkerCrashError(ReproError):
+    """E-EXEC: a pool worker died mid-computation (segfault, OOM kill).
+
+    The supervisor restarts the pool with exponential backoff; the
+    request that was on the dead worker surfaces this error — the HTTP
+    layer maps it to a structured 503 instead of letting the crash
+    take down the listener.
+    """
+
+    code = "E-EXEC"
 
 
 @contextmanager

@@ -54,6 +54,7 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import (
@@ -75,7 +76,7 @@ from .store import ResultStore
 from .tasks import run_traced
 
 __all__ = ["Task", "TaskResult", "ExecError", "ExecutionEngine",
-           "run_tasks"]
+           "SupervisedPool", "run_tasks"]
 
 _SUBMITTED = obs.counter("exec.tasks.submitted")
 _COMPLETED = obs.counter("exec.tasks.completed")
@@ -829,3 +830,200 @@ def run_tasks(tasks: Sequence[Task], *, max_workers: int = 0,
     """One-shot convenience wrapper around :class:`ExecutionEngine`."""
     return ExecutionEngine(max_workers=max_workers,
                            **engine_kwargs).run(tasks)
+
+
+def _pool_worker_init(niceness: int) -> None:
+    """Bootstrap for :class:`SupervisedPool` workers.
+
+    Shields the worker from group-delivered TERM (the parent drains),
+    then renices it: cold computes are batch work, and on small
+    machines the pool processes would otherwise compete with the
+    latency-sensitive listener threads for cores.  Must stay
+    module-level so the forkserver can pickle it by name.
+    """
+    from .signals import ignore_termination_in_worker
+
+    ignore_termination_in_worker()
+    if niceness > 0 and hasattr(os, "nice"):
+        try:
+            os.nice(niceness)
+        except OSError:  # pragma: no cover - exotic rlimit configs
+            pass
+
+
+class SupervisedPool:
+    """Crash-isolated one-call executor for the serve cold path.
+
+    :class:`ExecutionEngine` runs task *DAGs*; the server instead
+    needs "run this single compute somewhere a segfault cannot take
+    down the listener".  This wraps
+    :class:`concurrent.futures.ProcessPoolExecutor` (whose
+    ``BrokenProcessPool`` cleanly reports a worker death, where
+    ``multiprocessing.Pool`` would hang the waiter forever) with the
+    supervision policy:
+
+    * a dead worker surfaces as
+      :class:`~repro.errors.WorkerCrashError` (E-EXEC → structured
+      503) on the call that was riding it;
+    * the broken executor is discarded and rebuilt behind an
+      **exponential backoff gate** (``restart_backoff`` doubling up to
+      ``max_backoff``; calls landing inside the gate fail fast with
+      E-EXEC instead of blocking a server thread), counted on
+      ``exec.pool.restarts``;
+    * a successful call resets the backoff.
+
+    Workers start via the ``forkserver`` context where available: the
+    fork happens from a clean single-threaded helper process, never
+    from the lock-holding multithreaded server parent.  Worker
+    bootstrap (:func:`_pool_worker_init`) ignores SIGINT/SIGTERM so a
+    group-delivered TERM drains through the parent, and renices the
+    worker (``niceness``, default +10) so batch cold computes never
+    starve the latency-sensitive listener threads of CPU.
+    """
+
+    def __init__(self, workers: int = 2, *,
+                 restart_backoff: float = 0.1,
+                 backoff_factor: float = 2.0,
+                 max_backoff: float = 5.0,
+                 niceness: int = 10,
+                 mp_context: Optional[str] = None):
+        self.workers = max(1, int(workers))
+        self.niceness = max(0, int(niceness))
+        self._base_backoff = float(restart_backoff)
+        self._backoff_factor = float(backoff_factor)
+        self._max_backoff = float(max_backoff)
+        self._mp_context = mp_context
+        self._lock = threading.Lock()
+        self._executor = None
+        self._backoff = self._base_backoff
+        self._gate_until = 0.0   # monotonic; 0 = no gate
+        self._closed = False
+        self._ensure_executor()
+        # force the workers (and the forkserver) to start now, while
+        # the parent is still single-threaded
+        self.call(os.getpid)
+
+    # -- executor lifecycle --------------------------------------------
+    def _context(self):
+        name = self._mp_context
+        if name is None:
+            name = ("forkserver" if "forkserver"
+                    in multiprocessing.get_all_start_methods()
+                    else None)
+        return (multiprocessing.get_context(name)
+                if name else multiprocessing.get_context())
+
+    def _ensure_executor(self):
+        """Build (or rebuild) the executor; honors the backoff gate.
+
+        Returns the live executor or raises
+        :class:`~repro.errors.WorkerCrashError` while gated/closed.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        from ..errors import WorkerCrashError
+
+        with self._lock:
+            if self._closed:
+                raise WorkerCrashError("worker pool is closed")
+            if self._executor is not None:
+                return self._executor
+            remaining = self._gate_until - time.monotonic()
+            if remaining > 0:
+                raise WorkerCrashError(
+                    f"worker pool restarting (backoff "
+                    f"{remaining:.2f}s remaining)",
+                    hint="retry shortly; the supervisor rebuilds the "
+                         "pool after the backoff",
+                )
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=self._context(),
+                initializer=_pool_worker_init,
+                initargs=(self.niceness,))
+            return self._executor
+
+    def _mark_broken(self, executor) -> None:
+        """Discard a broken executor and arm the backoff gate."""
+        with self._lock:
+            if self._executor is not executor:
+                return  # someone else already handled it
+            self._executor = None
+            self._gate_until = time.monotonic() + self._backoff
+            self._backoff = min(self._max_backoff,
+                                self._backoff * self._backoff_factor)
+            _POOL_RESTARTS.inc()
+        try:
+            executor.shutdown(wait=False)
+        except Exception:
+            pass
+
+    # -- calls ---------------------------------------------------------
+    def call(self, fn, *args, timeout: Optional[float] = None):
+        """Run ``fn(*args)`` on a worker and return its result.
+
+        Raises :class:`~repro.errors.WorkerCrashError` when the worker
+        dies mid-call or the pool is inside its restart backoff;
+        exceptions *raised by* ``fn`` propagate unchanged (they cross
+        the boundary via pickling, which every
+        :class:`~repro.errors.ReproError` supports).
+        """
+        from concurrent.futures import TimeoutError as FuturesTimeout
+        from concurrent.futures.process import BrokenProcessPool
+
+        from ..errors import WorkerCrashError
+
+        executor = self._ensure_executor()
+        try:
+            future = executor.submit(fn, *args)
+        except (BrokenProcessPool, RuntimeError) as error:
+            self._mark_broken(executor)
+            raise WorkerCrashError(
+                f"worker pool rejected the call: {error}") from error
+        try:
+            result = future.result(timeout=timeout)
+        except BrokenProcessPool as error:
+            self._mark_broken(executor)
+            raise WorkerCrashError(
+                "a pool worker died mid-computation; the pool is "
+                "restarting",
+                hint="retry the request; repeated crashes open the "
+                     "endpoint's circuit breaker",
+            ) from error
+        except FuturesTimeout:
+            future.cancel()
+            _TIMEOUTS.inc()
+            raise
+        with self._lock:
+            self._backoff = self._base_backoff
+        return result
+
+    # -- introspection / chaos helpers ---------------------------------
+    def pids(self):
+        """Live worker pids (may be empty mid-restart)."""
+        with self._lock:
+            executor = self._executor
+        if executor is None:
+            return []
+        processes = getattr(executor, "_processes", None) or {}
+        return sorted(processes)
+
+    def kill_worker(self, index: int = 0, sig: int = 9) -> Optional[int]:
+        """Send ``sig`` to the ``index``-th worker (chaos harness);
+        returns the pid signalled, or None when no worker is up."""
+        pids = self.pids()
+        if not pids:
+            return None
+        pid = pids[index % len(pids)]
+        try:
+            os.kill(pid, sig)
+        except OSError:
+            return None
+        return pid
+
+    def close(self) -> None:
+        with self._lock:
+            executor, self._executor = self._executor, None
+            self._closed = True
+        if executor is not None:
+            executor.shutdown(wait=False)

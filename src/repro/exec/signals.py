@@ -22,7 +22,8 @@ from typing import List, Optional, Tuple
 
 from .. import obs
 
-__all__ = ["GracefulShutdown", "ignore_interrupts_in_worker"]
+__all__ = ["GracefulShutdown", "ignore_interrupts_in_worker",
+           "ignore_termination_in_worker"]
 
 _RECEIVED = obs.counter("resilience.signals.received")
 _DRAINS = obs.counter("resilience.signals.drain_started")
@@ -99,5 +100,21 @@ def ignore_interrupts_in_worker() -> None:
     """
     try:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+
+
+def ignore_termination_in_worker() -> None:
+    """Serve-pool worker initializer: ignore SIGINT *and* SIGTERM.
+
+    ``kill <server pid>`` from an init system is often delivered to
+    the whole process group; the server parent runs the two-stage
+    drain, and a compute worker dying mid-task would turn a graceful
+    shutdown into a spurious 503.  The supervisor terminates workers
+    explicitly when it actually wants them gone.
+    """
+    ignore_interrupts_in_worker()
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
     except (ValueError, OSError):  # pragma: no cover - non-main thread
         pass

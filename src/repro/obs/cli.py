@@ -265,6 +265,12 @@ def cmd_check(history: RunHistory, args: argparse.Namespace) -> int:
          "metrics_max": {"name": N, ...},   # value/count must be <= N
          "require_spans": ["exec.run", ...],# rollup key must exist
          "span_total_ms_max": {"key": MS}}  # rollup total must be <= MS
+
+    A floors file may also carry named ``"sections"`` — the same
+    schema, keyed by section name, gating *different* run records
+    (e.g. the ``serve`` section gates the chaos-smoke daemon run while
+    the top level gates the artifact smoke run).  ``--section NAME``
+    selects one; the top-level keys are ignored in that mode.
     """
     record = _resolve(history, args.run)
     try:
@@ -274,6 +280,15 @@ def cmd_check(history: RunHistory, args: argparse.Namespace) -> int:
         print(f"repro-obs: cannot read floors file "
               f"{args.floors!r}: {error}", file=sys.stderr)
         return EXIT_VIOLATION
+    section = getattr(args, "section", None)
+    if section is not None:
+        sections = floors.get("sections") or {}
+        if section not in sections:
+            print(f"repro-obs: no section {section!r} in "
+                  f"{args.floors} (available: "
+                  f"{sorted(sections)})", file=sys.stderr)
+            return EXIT_VIOLATION
+        floors = sections[section]
     metrics = record.get("metrics") or {}
     spans = record.get("spans") or {}
     violations: List[str] = []
@@ -400,6 +415,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_check.add_argument("--floors", required=True, metavar="PATH",
                          help="JSON floors file (see "
                               "benchmarks/OBS_floors.json)")
+    p_check.add_argument("--section", default=None, metavar="NAME",
+                         help="check the named entry under the "
+                              "floors file's \"sections\" instead of "
+                              "its top-level keys")
 
     p_export = sub.add_parser(
         "export", help="OpenMetrics/Prometheus text exposition of a "

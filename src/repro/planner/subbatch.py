@@ -27,6 +27,7 @@ import numpy as np
 
 from .. import obs
 from ..analysis.firstorder import FirstOrderModel
+from ..deadline import check_deadline
 from ..errors import error_context
 from ..hardware.accelerator import AcceleratorConfig
 from ..symbolic import bisect_increasing
@@ -263,12 +264,16 @@ def choose_subbatch(model: FirstOrderModel, params: float,
         curves = compile_curves(model, params, accel)
 
         # intensity is increasing in b; find the ridge crossing
+        check_deadline("choose_subbatch", model=model.domain,
+                       solved=0, solves_total=3)
         ridge = bisect_increasing(
             curves.intensity,
             accel.effective_ridge_point, 1.0, max_subbatch,
         )
 
         asymptote_intensity = curves.intensity(max_subbatch)
+        check_deadline("choose_subbatch", model=model.domain,
+                       solved=1, solves_total=3)
         saturation = bisect_increasing(
             curves.intensity,
             0.95 * asymptote_intensity, 1.0, max_subbatch,
@@ -279,6 +284,8 @@ def choose_subbatch(model: FirstOrderModel, params: float,
             model.mu * np.sqrt(params) / accel.achievable_bandwidth,
         )
         # per-sample time decreases monotonically in b; bisect on -time
+        check_deadline("choose_subbatch", model=model.domain,
+                       solved=2, solves_total=3)
         min_latency = bisect_increasing(
             lambda b: -curves.time_per_sample(b),
             -(1.0 + tolerance) * limit, 1.0, max_subbatch,

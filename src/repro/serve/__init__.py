@@ -39,16 +39,36 @@ Production concerns are the point:
   the queue, checkpoint the journal, exit 0 (or 3 when jobs remain);
 * **observability** — per-endpoint request counters and latency
   histograms plus coalesce/store/job counters in :mod:`repro.obs`,
-  served verbatim on ``/metrics`` via ``openmetrics_text``.
+  served verbatim on ``/metrics`` via ``openmetrics_text``;
+* **overload resilience** — per-endpoint-family bulkheads with a
+  bounded admission queue shed E-BUSY 429 (+ Retry-After) instead of
+  queueing unboundedly (:mod:`~repro.serve.admission`); client
+  deadlines (``?deadline_ms=`` / ``X-Repro-Deadline-Ms``) propagate
+  into the analysis kernels and stop work with an E-DEADLINE 504
+  carrying partial progress (:mod:`repro.deadline`); repeated compute
+  crashes open a per-endpoint circuit breaker
+  (:mod:`~repro.serve.breaker`); ``--compute-workers N`` moves cold
+  computes onto a supervised process pool so a crash is a structured
+  503, not a dead listener; and a seeded chaos harness
+  (:mod:`~repro.serve.chaos`, ``--chaos-plan``) injects faults
+  deterministically for the resilience suite.
 """
 
 from .service import AnalysisService, Endpoint, ENDPOINTS, \
     snapshot_exhibit
 from .jobs import Job, JobQueue
-from .server import ReproServer, running_server
+from .admission import AdmissionConfig, AdmissionController, \
+    Bulkhead, TokenBucket
+from .breaker import BreakerBoard, BreakerConfig, CircuitBreaker
+from .chaos import ChaosController, ChaosInjectedError, ChaosPlan
+from .server import ReproServer, ServeConfig, running_server
 
 __all__ = [
     "AnalysisService", "Endpoint", "ENDPOINTS", "snapshot_exhibit",
     "Job", "JobQueue",
-    "ReproServer", "running_server",
+    "AdmissionConfig", "AdmissionController", "Bulkhead",
+    "TokenBucket",
+    "BreakerBoard", "BreakerConfig", "CircuitBreaker",
+    "ChaosController", "ChaosInjectedError", "ChaosPlan",
+    "ReproServer", "ServeConfig", "running_server",
 ]

@@ -1,0 +1,199 @@
+"""Admission control: bulkheads, bounded queues, token buckets.
+
+Overload policy for the server, in one place:
+
+* :class:`Bulkhead` — a per-endpoint-family concurrency limit with a
+  **bounded** waiter queue.  ``width`` cold computes run at once; up
+  to ``queue_depth`` more wait (at most ``queue_timeout`` seconds);
+  everything beyond that is **shed immediately** with
+  :class:`~repro.errors.BusyError` (E-BUSY → HTTP 429 +
+  ``Retry-After``).  Shedding at admission keeps the failure mode
+  "fast 429" instead of "every thread blocked on one slow sweep" —
+  and because the service checks the result store *before* the
+  bulkhead, warm hits never queue behind cold computes.
+* :class:`TokenBucket` — the classic rate limiter: ``burst`` tokens,
+  refilled at ``rate`` per second.  The HTTP layer keeps one bucket
+  per connection, so a single misbehaving keep-alive client throttles
+  itself without affecting the others.
+* :class:`AdmissionController` — the configured registry the server
+  threads share: lazily creates one bulkhead per endpoint family and
+  hands per-connection buckets to the HTTP layer.
+
+Counters: ``serve.admission.admitted`` (requests that acquired a
+bulkhead slot), ``serve.admission.queued`` (had to wait first),
+``serve.admission.shed`` (rejected with E-BUSY, including rate-limit
+rejections).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from .. import obs
+from ..errors import BusyError
+
+__all__ = ["AdmissionConfig", "AdmissionController", "Bulkhead",
+           "TokenBucket"]
+
+_ADMITTED = obs.counter("serve.admission.admitted")
+_QUEUED = obs.counter("serve.admission.queued")
+_SHED = obs.counter("serve.admission.shed")
+_WAITING = obs.gauge("serve.admission.waiting")
+
+
+class TokenBucket:
+    """``burst`` tokens refilled at ``rate``/s; thread-safe."""
+
+    def __init__(self, rate: float, burst: int):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate!r}")
+        self.rate = float(rate)
+        self.burst = max(1, int(burst))
+        self._tokens = float(self.burst)
+        self._stamp = time.monotonic()
+        self._lock = threading.Lock()
+
+    def try_take(self) -> float:
+        """Take one token; returns 0.0 on success, else the advisory
+        seconds to wait until a token is available."""
+        with self._lock:
+            now = time.monotonic()
+            self._tokens = min(
+                float(self.burst),
+                self._tokens + (now - self._stamp) * self.rate)
+            self._stamp = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return 0.0
+            return (1.0 - self._tokens) / self.rate
+
+
+class Bulkhead:
+    """Bounded concurrency + bounded waiting for one endpoint family."""
+
+    def __init__(self, name: str, width: int, queue_depth: int,
+                 queue_timeout: float):
+        self.name = name
+        self.width = max(1, int(width))
+        self.queue_depth = max(0, int(queue_depth))
+        self.queue_timeout = float(queue_timeout)
+        self._slots = threading.BoundedSemaphore(self.width)
+        self._lock = threading.Lock()
+        self._waiting = 0
+
+    def _shed(self, reason: str, retry_after: float) -> None:
+        _SHED.inc()
+        raise BusyError(
+            f"endpoint family {self.name!r} is {reason} "
+            f"({self.width} in flight, {self.queue_depth} queued)",
+            retry_after=max(0.1, retry_after),
+            hint="retry after the Retry-After interval, or submit "
+                 "the query as an async job (POST /v1/jobs)",
+        )
+
+    @contextmanager
+    def admit(self, timeout: Optional[float] = None) -> Iterator[None]:
+        """Hold one concurrency slot for the duration of the body.
+
+        ``timeout`` caps the queue wait (defaults to the configured
+        ``queue_timeout``; a request deadline passes its remaining
+        budget).  Raises :class:`BusyError` instead of waiting when
+        the bounded queue is already full, or when the wait times out.
+        """
+        wait = self.queue_timeout if timeout is None \
+            else min(self.queue_timeout, max(0.0, timeout))
+        if self._slots.acquire(blocking=False):
+            _ADMITTED.inc()
+        else:
+            with self._lock:
+                if self._waiting >= self.queue_depth:
+                    self._shed("saturated", self.queue_timeout)
+                self._waiting += 1
+                _WAITING.set(self._waiting)
+            _QUEUED.inc()
+            try:
+                acquired = self._slots.acquire(timeout=wait)
+            finally:
+                with self._lock:
+                    self._waiting -= 1
+                    _WAITING.set(self._waiting)
+            if not acquired:
+                self._shed("saturated past the queue timeout", wait)
+            _ADMITTED.inc()
+        try:
+            yield
+        finally:
+            self._slots.release()
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Tuning knobs (see the README's operations runbook)."""
+
+    #: concurrent cold computes per endpoint family
+    bulkhead_width: int = 2
+    #: waiters allowed per family before shedding
+    queue_depth: int = 8
+    #: max seconds a waiter holds a queue slot
+    queue_timeout: float = 30.0
+    #: per-connection requests/second (0 disables rate limiting)
+    rate_limit: float = 0.0
+    #: per-connection burst allowance
+    rate_burst: int = 20
+
+
+class AdmissionController:
+    """Shared bulkhead registry + rate-limit policy for the server."""
+
+    def __init__(self, config: Optional[AdmissionConfig] = None):
+        self.config = config or AdmissionConfig()
+        self._lock = threading.Lock()
+        self._bulkheads: Dict[str, Bulkhead] = {}
+
+    def bulkhead(self, family: str) -> Bulkhead:
+        with self._lock:
+            head = self._bulkheads.get(family)
+            if head is None:
+                head = Bulkhead(family, self.config.bulkhead_width,
+                                self.config.queue_depth,
+                                self.config.queue_timeout)
+                self._bulkheads[family] = head
+            return head
+
+    def connection_bucket(self) -> Optional[TokenBucket]:
+        """A fresh per-connection bucket (None: limiting disabled)."""
+        if self.config.rate_limit <= 0:
+            return None
+        return TokenBucket(self.config.rate_limit,
+                           self.config.rate_burst)
+
+    @staticmethod
+    def check_bucket(bucket: Optional[TokenBucket]) -> None:
+        """Raise E-BUSY when the connection's bucket is empty."""
+        if bucket is None:
+            return
+        retry_after = bucket.try_take()
+        if retry_after > 0:
+            _SHED.inc()
+            raise BusyError(
+                "per-connection rate limit exceeded",
+                retry_after=retry_after,
+                hint="slow down, batch queries, or open a second "
+                     "connection only if you are genuinely a "
+                     "different client",
+            )
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Current per-family occupancy (for /healthz)."""
+        with self._lock:
+            heads = dict(self._bulkheads)
+        return {
+            name: {"width": head.width,
+                   "queue_depth": head.queue_depth,
+                   "waiting": head._waiting}
+            for name, head in sorted(heads.items())
+        }

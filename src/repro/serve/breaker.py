@@ -1,0 +1,186 @@
+"""Per-endpoint circuit breakers: fail fast while a dependency is sick.
+
+When an endpoint's computes start dying — a segfaulting worker, a
+poisoned input class, an OOM loop — retrying every request just feeds
+the failure.  :class:`CircuitBreaker` implements the standard state
+machine:
+
+* **closed** — requests flow; ``failure_threshold`` *consecutive*
+  compute failures trip the breaker;
+* **open** — every request is shed instantly with
+  :class:`~repro.errors.BusyError` (E-BUSY → 429, ``Retry-After`` =
+  remaining cooldown).  The cooldown grows exponentially
+  (``cooldown × backoff^reopens``, capped at ``max_cooldown``) while
+  the dependency keeps failing;
+* **half-open** — after the cooldown one *probe* request is allowed
+  through; success closes the breaker and resets the backoff, failure
+  re-opens it with a longer cooldown.
+
+Client-caused errors (E-BIND validation, E-BUSY shedding, E-DEADLINE
+budgets) never count as failures — only infrastructure faults trip
+the breaker (the service decides which, see
+``service._breaker_counts``).
+
+Counters: ``serve.breaker.open`` / ``serve.breaker.half_open`` /
+``serve.breaker.close`` count the state *transitions*, so a chaos run
+can assert the full open → half-open → closed cycle happened.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from .. import obs
+from ..errors import BusyError
+
+__all__ = ["BreakerConfig", "CircuitBreaker", "BreakerBoard"]
+
+_OPENS = obs.counter("serve.breaker.open")
+_HALF_OPENS = obs.counter("serve.breaker.half_open")
+_CLOSES = obs.counter("serve.breaker.close")
+_SHED = obs.counter("serve.breaker.shed")
+
+
+class BreakerConfig:
+    """Threshold/cooldown knobs, shared by a board's breakers."""
+
+    __slots__ = ("failure_threshold", "cooldown", "backoff",
+                 "max_cooldown")
+
+    def __init__(self, failure_threshold: int = 3,
+                 cooldown: float = 1.0, backoff: float = 2.0,
+                 max_cooldown: float = 30.0):
+        self.failure_threshold = max(1, int(failure_threshold))
+        self.cooldown = float(cooldown)
+        self.backoff = float(backoff)
+        self.max_cooldown = float(max_cooldown)
+
+
+class CircuitBreaker:
+    """One endpoint family's breaker; ``clock`` is injectable for
+    deterministic tests."""
+
+    def __init__(self, name: str,
+                 config: Optional[BreakerConfig] = None, *,
+                 clock: Callable[[], float] = time.monotonic):
+        self.name = name
+        self.config = config or BreakerConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0
+        self._reopens = 0      # consecutive open cycles -> backoff
+        self._opened_at = 0.0
+        self._cooldown = self.config.cooldown
+        self._probe_in_flight = False
+
+    # -- state ---------------------------------------------------------
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def _shed(self, retry_after: float) -> None:
+        _SHED.inc()
+        raise BusyError(
+            f"circuit breaker for {self.name!r} is open after "
+            f"{self.config.failure_threshold} consecutive failures",
+            retry_after=max(0.1, retry_after),
+            hint="the endpoint's computes are failing; wait out the "
+                 "cooldown — the breaker probes and closes itself "
+                 "when they recover",
+        )
+
+    def before_call(self) -> None:
+        """Gate one request: raise E-BUSY while open, admit the single
+        half-open probe after the cooldown."""
+        with self._lock:
+            if self._state == "closed":
+                return
+            if self._state == "open":
+                remaining = self._opened_at + self._cooldown \
+                    - self._clock()
+                if remaining > 0:
+                    self._shed(remaining)
+                self._state = "half_open"
+                self._probe_in_flight = False
+                _HALF_OPENS.inc()
+            # half-open: exactly one probe goes through; the rest are
+            # shed until the probe's verdict lands
+            if not self._probe_in_flight:
+                self._probe_in_flight = True
+                return
+            self._shed(self._cooldown)
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            if self._state != "closed":
+                self._state = "closed"
+                self._reopens = 0
+                self._cooldown = self.config.cooldown
+                self._probe_in_flight = False
+                _CLOSES.inc()
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self._state == "half_open":
+                self._trip_locked()
+            elif (self._state == "closed"
+                    and self._failures >= self.config.failure_threshold):
+                self._trip_locked()
+
+    def trip(self) -> None:
+        """Force the breaker open (the chaos ``open_breaker`` fault)."""
+        with self._lock:
+            self._trip_locked()
+
+    def reset(self) -> None:
+        """Force the breaker closed (the chaos ``close_breaker``
+        fault); does not count a ``close`` transition."""
+        with self._lock:
+            self._state = "closed"
+            self._failures = 0
+            self._reopens = 0
+            self._cooldown = self.config.cooldown
+            self._probe_in_flight = False
+
+    def _trip_locked(self) -> None:
+        self._state = "open"
+        self._opened_at = self._clock()
+        self._cooldown = min(
+            self.config.max_cooldown,
+            self.config.cooldown * (self.config.backoff
+                                    ** self._reopens))
+        self._reopens += 1
+        self._failures = 0
+        self._probe_in_flight = False
+        _OPENS.inc()
+
+
+class BreakerBoard:
+    """One breaker per endpoint family, created lazily."""
+
+    def __init__(self, config: Optional[BreakerConfig] = None, *,
+                 clock: Callable[[], float] = time.monotonic):
+        self.config = config or BreakerConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker(self, family: str) -> CircuitBreaker:
+        with self._lock:
+            brk = self._breakers.get(family)
+            if brk is None:
+                brk = CircuitBreaker(family, self.config,
+                                     clock=self._clock)
+                self._breakers[family] = brk
+            return brk
+
+    def snapshot(self) -> Dict[str, str]:
+        with self._lock:
+            breakers = dict(self._breakers)
+        return {name: brk.state()
+                for name, brk in sorted(breakers.items())}

@@ -3,7 +3,13 @@
 ::
 
     repro-serve [--host H] [--port P] [--job-workers N]
-                [--run-dir DIR] [--resume]
+                [--run-dir DIR] [--resume] [--drain-timeout S]
+                [--compute-workers N] [--bulkhead-width N]
+                [--queue-depth N] [--queue-timeout S]
+                [--rate-limit R] [--rate-burst N]
+                [--breaker-threshold N] [--breaker-cooldown S]
+                [--header-timeout S] [--body-timeout S]
+                [--chaos-plan PATH]
                 [--no-cache] [--cache-dir PATH] [--debug]
 
 Prints one JSON announce line on stdout once the socket is bound
@@ -35,7 +41,8 @@ from ..artifact import run_cli, store_from_args
 from ..errors import EXIT_RESUMABLE, ReproIOError
 from ..exec.signals import GracefulShutdown
 from ..exec.store import default_cache_dir
-from .server import ReproServer
+from .chaos import ChaosController, ChaosPlan
+from .server import ReproServer, ServeConfig
 
 __all__ = ["main", "build_parser"]
 
@@ -71,6 +78,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-timeout", type=float, default=30.0, metavar="S",
         help="seconds to wait for queued jobs on shutdown "
              "(default: 30)")
+    group = parser.add_argument_group(
+        "overload resilience",
+        "admission control, deadlines, breakers, and the chaos "
+        "harness (see the README operations runbook)")
+    group.add_argument(
+        "--compute-workers", type=int, default=0, metavar="N",
+        help="run cold computes on N supervised worker processes so "
+             "a crashing compute cannot take down the listener "
+             "(default: 0 = in-process)")
+    group.add_argument(
+        "--bulkhead-width", type=int, default=2, metavar="N",
+        help="concurrent cold computes per endpoint family "
+             "(default: 2)")
+    group.add_argument(
+        "--queue-depth", type=int, default=8, metavar="N",
+        help="admission-queue slots per family; beyond them requests "
+             "shed E-BUSY 429 (default: 8)")
+    group.add_argument(
+        "--queue-timeout", type=float, default=30.0, metavar="S",
+        help="max seconds a request waits for a bulkhead slot "
+             "(default: 30)")
+    group.add_argument(
+        "--rate-limit", type=float, default=0.0, metavar="R",
+        help="per-connection token-bucket rate, requests/second "
+             "(default: 0 = unlimited)")
+    group.add_argument(
+        "--rate-burst", type=int, default=20, metavar="N",
+        help="per-connection burst allowance (default: 20)")
+    group.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="N",
+        help="consecutive compute failures that open an endpoint's "
+             "circuit breaker (default: 3)")
+    group.add_argument(
+        "--breaker-cooldown", type=float, default=1.0, metavar="S",
+        help="seconds an open breaker sheds before its half-open "
+             "probe; doubles per re-open up to 30s (default: 1)")
+    group.add_argument(
+        "--header-timeout", type=float, default=30.0, metavar="S",
+        help="socket read timeout for request headers / keep-alive "
+             "idles — the slow-loris bound (default: 30)")
+    group.add_argument(
+        "--body-timeout", type=float, default=10.0, metavar="S",
+        help="wall-clock budget for reading one request body "
+             "(default: 10)")
+    group.add_argument(
+        "--chaos-plan", metavar="PATH", default=None,
+        help="inject faults from a seeded JSON plan (latency, "
+             "worker kills, store corruption, breaker flips) — the "
+             "resilience suite's harness; never use in production")
     parser.add_argument(
         "--no-cache", action="store_true",
         help="disable the on-disk result store (always recompute)")
@@ -94,17 +150,37 @@ def main(argv: Optional[List[str]] = None) -> int:
         config={"host": args.host, "port": args.port,
                 "job_workers": args.job_workers,
                 "run_dir": args.run_dir, "resume": args.resume,
-                "cache": not args.no_cache},
+                "cache": not args.no_cache,
+                "compute_workers": args.compute_workers,
+                "chaos_plan": args.chaos_plan},
         run_dir=args.run_dir, resume=args.resume,
     )
-
+    config = ServeConfig(
+        bulkhead_width=max(1, args.bulkhead_width),
+        queue_depth=max(0, args.queue_depth),
+        queue_timeout=max(0.0, args.queue_timeout),
+        rate_limit=max(0.0, args.rate_limit),
+        rate_burst=max(1, args.rate_burst),
+        breaker_threshold=max(1, args.breaker_threshold),
+        breaker_cooldown=max(0.0, args.breaker_cooldown),
+        compute_workers=max(0, args.compute_workers),
+        header_timeout=max(0.1, args.header_timeout),
+        body_timeout=max(0.1, args.body_timeout),
+        drain_timeout=max(0.0, args.drain_timeout),
+    )
     def body() -> int:
+        # inside body() so a bad plan renders as E-BIND, not a traceback
+        chaos = None
+        if args.chaos_plan:
+            chaos = ChaosController(
+                ChaosPlan.from_file(args.chaos_plan))
         try:
             server = ReproServer(
                 args.host, args.port,
                 store=store_from_args(args),
                 run_dir=args.run_dir, resume=args.resume,
                 job_workers=max(1, args.job_workers),
+                config=config, chaos=chaos,
             )
         except OSError as error:
             raise ReproIOError(

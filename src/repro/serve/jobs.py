@@ -288,16 +288,24 @@ class JobQueue:
                                 if remaining is not None else 0.5)
         return True
 
-    def close(self, *, drain_timeout: float = 0.0) -> int:
+    def close(self, *, drain_timeout: float = 0.0,
+              join_timeout: Optional[float] = None) -> int:
         """Stop workers (optionally draining first), checkpoint the
-        journal; returns the number of jobs left unfinished."""
+        journal; returns the number of jobs left unfinished.
+
+        ``join_timeout`` caps the per-worker-thread join (defaults to
+        ``drain_timeout`` when draining, else 5s) — it used to be a
+        hardcoded 5.0 regardless of the configured drain budget.
+        """
         if drain_timeout > 0:
             self.drain(drain_timeout)
+        if join_timeout is None:
+            join_timeout = drain_timeout if drain_timeout > 0 else 5.0
         self._stop.set()
         for _ in self._workers:
             self._queue.put(None)
         for thread in self._workers:
-            thread.join(timeout=5.0)
+            thread.join(timeout=max(0.1, join_timeout))
         pending = self.pending_count()
         if self._journal is not None:
             with self._lock:

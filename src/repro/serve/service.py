@@ -26,23 +26,36 @@ so mixed query loads cannot deadlock.  Completed bytes are memoized in
 the content-addressed :class:`~repro.exec.store.ResultStore`
 (``exec.store.hit/miss`` then measure the warm path).
 
-Computation itself runs under one coarse lock: the analysis pipeline's
+**Resilience** (all optional, wired by :class:`ReproServer`): cold
+computes pass a per-endpoint-family :class:`~repro.serve.admission.
+Bulkhead` (bounded concurrency + bounded queue, E-BUSY shed beyond
+it) and a :class:`~repro.serve.breaker.CircuitBreaker` (consecutive
+infrastructure failures open it; client errors never count) before
+reaching the compute semaphore.  The **store lookup happens before
+any of that**, so warm hits never queue behind cold computes.  With a
+:class:`~repro.exec.engine.SupervisedPool` attached, computes run in
+worker processes — a segfault surfaces as a structured E-EXEC 503
+instead of killing the listener — and the semaphore widens to the
+worker count; in-process it stays width 1 because the pipeline's
 memoized caches (sweep LRU, model registry, tape caches) predate
-multithreading, and the work is GIL-bound pure Python anyway — the
-lock removes every data race for the cost of serializing cache-cold
-computations.  Warm queries (store hits, coalesced followers) never
-touch it.
+multithreading.  Requests carrying a :class:`~repro.deadline.
+Deadline` propagate it into the computation (ambient in-process,
+explicit remaining-budget across the pool boundary) and bound every
+wait on it; ``serve.deadline.met/exceeded`` count the outcomes.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from .. import obs
-from ..errors import BindingError, did_you_mean
+from ..deadline import Deadline, deadline_scope
+from ..errors import (BindingError, BusyError, DeadlineError,
+                      ReproError, WorkerCrashError, did_you_mean)
 from ..exec.store import ResultStore, content_key
 
 __all__ = ["AnalysisService", "Endpoint", "ENDPOINTS",
@@ -53,6 +66,9 @@ _COALESCE_MISS = obs.counter("serve.coalesce.miss")
 _COMPUTED = obs.counter("serve.query.computed")
 _QUERIES = obs.counter("serve.query.requests")
 _INFLIGHT = obs.gauge("serve.coalesce.inflight")
+_DEADLINE_MET = obs.counter("serve.deadline.met")
+_DEADLINE_EXCEEDED = obs.counter("serve.deadline.exceeded")
+_STORE_CORRUPT = obs.counter("serve.store.corrupt_dropped")
 
 
 def canonical_json(payload: Any) -> bytes:
@@ -423,13 +439,59 @@ class _InFlight:
         self.error: Optional[BaseException] = None
 
 
+def _compute_in_worker(endpoint: str, clean: Dict[str, Any],
+                       budget_ms: Optional[float]) -> Any:
+    """Pool-worker entry: re-open the deadline scope and compute.
+
+    Module-level so it pickles; the ambient thread-local deadline does
+    not cross the process boundary, hence the explicit remaining
+    budget.  A raised :class:`~repro.errors.DeadlineError` pickles
+    back to the parent intact (``ReproError.__reduce__``).
+    """
+    spec = ENDPOINTS[endpoint]
+    with deadline_scope(budget_ms):
+        return spec.compute(clean)
+
+
+def _looks_canonical(body: bytes) -> bool:
+    """Cheap integrity guard on warm-path store hits.
+
+    Every stored value is a canonical-JSON envelope, so a payload that
+    does not even look like one (a chaos-garbled or torn entry) is
+    dropped and recomputed instead of being served as a 200.  Prefix/
+    suffix only — full parsing would tax every warm hit.
+    """
+    return body.startswith(b'{"endpoint":') and body.endswith(b"}")
+
+
+def _breaker_counts(error: BaseException) -> bool:
+    """Whether a compute failure trips the circuit breaker.
+
+    Only infrastructure faults count — a client's own malformed input
+    (E-BIND), shed load (E-BUSY), or expired budget (E-DEADLINE) says
+    nothing about the endpoint's health.
+    """
+    return not isinstance(error,
+                          (BindingError, BusyError, DeadlineError))
+
+
 class AnalysisService:
     """Coalescing, store-backed executor for the endpoint registry."""
 
-    def __init__(self, store: Optional[ResultStore] = None):
+    def __init__(self, store: Optional[ResultStore] = None, *,
+                 admission=None, breakers=None, pool=None,
+                 chaos=None):
         self.store = store
+        self.admission = admission
+        self.breakers = breakers
+        self.pool = pool
+        self.chaos = chaos
         self._registry_lock = threading.Lock()
-        self._compute_lock = threading.Lock()
+        # the compute semaphore: width 1 in-process (the pipeline's
+        # memoized caches are not thread-safe), worker-count wide when
+        # the supervised pool isolates each compute in its own process
+        width = 1 if pool is None else pool.workers
+        self._compute_sem = threading.BoundedSemaphore(width)
         self._inflight: Dict[str, _InFlight] = {}
 
     # -- keys ----------------------------------------------------------
@@ -461,15 +523,31 @@ class AnalysisService:
         """Parsed JSON envelope of :meth:`query_bytes` (test helper)."""
         return json.loads(self.query_bytes(endpoint, params))
 
-    def query_bytes(self, endpoint: str, params: Mapping) -> bytes:
+    def query_bytes(self, endpoint: str, params: Mapping, *,
+                    deadline: Optional[Deadline] = None) -> bytes:
         """One coalesced, cached query; returns the response bytes.
 
         The envelope is ``{"endpoint", "key", "params", "result"}`` —
         deterministic canonical JSON, so every caller of an identical
         query receives byte-identical bodies no matter whether they
         hit the in-flight map, the result store, or the computation.
+        A ``deadline`` bounds every wait (coalesce, admission queue)
+        and propagates into the computation itself.
         """
         _QUERIES.inc()
+        try:
+            body = self._query_bytes(endpoint, params,
+                                     deadline=deadline)
+        except DeadlineError:
+            if deadline is not None:
+                _DEADLINE_EXCEEDED.inc()
+            raise
+        if deadline is not None:
+            _DEADLINE_MET.inc()
+        return body
+
+    def _query_bytes(self, endpoint: str, params: Mapping, *,
+                     deadline: Optional[Deadline]) -> bytes:
         clean, key = self.canonical(endpoint, params)
 
         with self._registry_lock:
@@ -483,14 +561,25 @@ class AnalysisService:
         if mine is None:
             # follower: the leader's bytes (or its error) are ours
             _COALESCE_HIT.inc()
-            entry.event.wait()
+            timeout = (None if deadline is None
+                       else deadline.remaining_s())
+            if not entry.event.wait(timeout):
+                raise DeadlineError(
+                    f"deadline of {deadline.budget_ms:g} ms expired "
+                    "waiting on an identical in-flight query",
+                    progress={"stage": "coalesce-wait",
+                              "endpoint": endpoint},
+                    hint="raise deadline_ms or poll the result as an "
+                         "async job",
+                )
             if entry.error is not None:
                 raise entry.error
             return entry.value
 
         _COALESCE_MISS.inc()
         try:
-            body = self._lookup_or_compute(endpoint, clean, key)
+            body = self._lookup_or_compute(endpoint, clean, key,
+                                           deadline=deadline)
             mine.value = body
             return body
         except BaseException as error:
@@ -502,19 +591,85 @@ class AnalysisService:
                 _INFLIGHT.set(len(self._inflight))
             mine.event.set()
 
-    def _lookup_or_compute(self, endpoint: str,
-                           clean: Dict[str, Any], key: str) -> bytes:
-        if self.store is not None:
-            cached = self.store.get(key)
-            if isinstance(cached, bytes):
-                return cached
-        spec = ENDPOINTS[endpoint]
-        # one computation at a time: the pipeline's memoized caches
-        # are not thread-safe and the work is GIL-bound anyway
-        with self._compute_lock:
-            with obs.span("serve.compute", "serve", endpoint=endpoint,
-                          key=key[:12]):
-                result = spec.compute(clean)
+    # -- the cold path -------------------------------------------------
+    def _store_get(self, endpoint: str, key: str,
+                   chaos_index: int) -> Optional[bytes]:
+        """Warm-path lookup with the envelope integrity guard."""
+        if self.store is None:
+            return None
+        cached = self.store.get(key)
+        if not isinstance(cached, bytes):
+            return None
+        if self.chaos is not None:
+            garbled = self.chaos.corrupt_bytes(endpoint, chaos_index,
+                                               cached)
+            if garbled is not None:
+                # the fault writes real corruption through the store,
+                # so the guard below is exercised on a genuine read
+                self.store.put(key, garbled)
+                cached = self.store.get(key)
+                if not isinstance(cached, bytes):
+                    return None
+        if not _looks_canonical(cached):
+            _STORE_CORRUPT.inc()
+            return None
+        return cached
+
+    def _lookup_or_compute(self, endpoint: str, clean: Dict[str, Any],
+                           key: str, *,
+                           deadline: Optional[Deadline] = None) -> bytes:
+        chaos_index = 0
+        if self.chaos is not None:
+            chaos_index = self.chaos.next_index()
+            self.chaos.before_admission(endpoint, chaos_index)
+        cached = self._store_get(endpoint, key, chaos_index)
+        if cached is not None:
+            return cached
+
+        # cold compute: breaker gate, then the bounded bulkhead — the
+        # warm path above never touches either
+        breaker = (self.breakers.breaker(endpoint)
+                   if self.breakers is not None else None)
+        if breaker is not None:
+            breaker.before_call()
+        bulkhead = (self.admission.bulkhead(endpoint)
+                    if self.admission is not None else None)
+        gate = (bulkhead.admit(timeout=deadline.remaining_s()
+                               if deadline is not None else None)
+                if bulkhead is not None else nullcontext())
+        try:
+            with gate:
+                if deadline is not None and deadline.expired():
+                    raise DeadlineError(
+                        f"deadline of {deadline.budget_ms:g} ms "
+                        "expired in the admission queue",
+                        progress={"stage": "admitted",
+                                  "endpoint": endpoint},
+                    )
+                if self.chaos is not None:
+                    self.chaos.before_compute(endpoint, chaos_index)
+                with self._compute_sem:
+                    with obs.span("serve.compute", "serve",
+                                  endpoint=endpoint, key=key[:12]):
+                        result = self._dispatch_compute(
+                            endpoint, clean, deadline)
+        except BaseException as error:
+            if breaker is not None and _breaker_counts(error):
+                breaker.record_failure()
+            if (isinstance(error, Exception)
+                    and not isinstance(error, ReproError)):
+                # a foreign exception out of a compute is a dependency
+                # failure, not a protocol bug: surface it as a
+                # structured E-EXEC 503, never an unstructured 500
+                raise WorkerCrashError(
+                    f"compute for /v1/{endpoint} failed: "
+                    f"{type(error).__name__}: {error}",
+                    hint="retry the request; repeated failures open "
+                         "the endpoint's circuit breaker",
+                ) from error
+            raise
+        if breaker is not None:
+            breaker.record_success()
         _COMPUTED.inc()
         body = canonical_json({
             "endpoint": endpoint,
@@ -525,3 +680,13 @@ class AnalysisService:
         if self.store is not None:
             self.store.put(key, body)
         return body
+
+    def _dispatch_compute(self, endpoint: str, clean: Dict[str, Any],
+                          deadline: Optional[Deadline]) -> Any:
+        budget_ms = (None if deadline is None
+                     else max(1.0, deadline.remaining_ms()))
+        if self.pool is not None:
+            return self.pool.call(_compute_in_worker, endpoint, clean,
+                                  budget_ms)
+        with deadline_scope(budget_ms):
+            return ENDPOINTS[endpoint].compute(clean)

@@ -14,6 +14,7 @@ import math
 import sys
 from typing import Callable, Mapping
 
+from ..deadline import check_deadline
 from ..errors import SolveError
 from ..obs.metrics import counter as _obs_counter
 from ..obs.metrics import histogram as _obs_histogram
@@ -143,6 +144,7 @@ def expand_bracket(fn: Callable[[float], float], target: float,
     expansions = 0
     flo, fhi = _checked(fn, lo), _checked(fn, hi)
     while fhi < target and expansions < max_expansions:
+        check_deadline("expand_bracket", expansions=expansions)
         expansions += 1
         _EXPANSIONS.inc()
         hi *= factor
@@ -236,6 +238,8 @@ def bisect_increasing(fn: Callable[[float], float], target: float,
                 )
             return hi
         for _ in range(max_iter):
+            check_deadline("bisect", iterations=iterations,
+                           target=target)
             iterations += 1
             mid = 0.5 * (lo + hi)
             fmid = _checked(fn, mid)

@@ -1,0 +1,106 @@
+"""SupervisedPool: crash containment for the serving path.
+
+A SIGKILLed worker must surface as a structured
+:class:`~repro.errors.WorkerCrashError` (E-EXEC) — never a hang —
+bump ``exec.pool.restarts``, and the pool must recover and serve
+again after its restart backoff.  Calls landing inside the backoff
+window fail fast instead of queueing on a dead executor.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro import obs
+from repro.errors import WorkerCrashError
+from repro.exec.engine import SupervisedPool
+
+
+def _counter(name: str) -> float:
+    return obs.snapshot().get(name, {}).get("value", 0)
+
+
+def _call_until_ok(pool, fn, *args, timeout=30.0):
+    """Retry through the restart-backoff window (fail-fast E-EXEC)."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            return pool.call(fn, *args)
+        except WorkerCrashError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.05)
+
+
+@pytest.fixture
+def pool():
+    pool = SupervisedPool(1, restart_backoff=0.05)
+    yield pool
+    pool.close()
+
+
+def test_basic_call_round_trips(pool):
+    assert pool.call(os.getpid) != os.getpid()  # really out of process
+
+
+@pytest.mark.skipif(not hasattr(os, "nice"), reason="POSIX only")
+def test_workers_run_at_batch_priority(pool):
+    # os.nice(0) reads the worker's niceness without changing it;
+    # the default +10 keeps cold computes from starving the listener
+    assert pool.call(os.nice, 0) >= 10
+
+    zero = SupervisedPool(1, niceness=0)
+    try:
+        assert zero.call(os.nice, 0) == os.nice(0)
+    finally:
+        zero.close()
+
+
+def test_kill_surfaces_as_structured_e_exec(pool):
+    victim = pool.call(os.getpid)
+    restarts_before = _counter("exec.pool.restarts")
+    pool.kill_worker()
+    with pytest.raises(WorkerCrashError) as excinfo:
+        pool.call(os.getpid)
+    assert excinfo.value.code == "E-EXEC"
+    assert _counter("exec.pool.restarts") > restarts_before
+    # after the backoff a fresh worker answers — with a new pid
+    survivor = _call_until_ok(pool, os.getpid)
+    assert survivor != victim
+
+
+def test_calls_inside_backoff_fail_fast():
+    pool = SupervisedPool(1, restart_backoff=5.0)
+    try:
+        pool.call(os.getpid)
+        pool.kill_worker()
+        with pytest.raises(WorkerCrashError):
+            pool.call(os.getpid)
+        # the 5s gate is closed: this must fail fast, not block
+        t0 = time.monotonic()
+        with pytest.raises(WorkerCrashError) as excinfo:
+            pool.call(os.getpid)
+        assert time.monotonic() - t0 < 1.0
+        assert "backoff" in excinfo.value.message
+    finally:
+        pool.close()
+
+
+def test_worker_exception_propagates_without_restart(pool):
+    restarts_before = _counter("exec.pool.restarts")
+    with pytest.raises(ValueError):
+        pool.call(int, "not a number")
+    assert _counter("exec.pool.restarts") == restarts_before
+    assert pool.call(os.getpid)  # same pool, still alive
+
+
+def test_repeated_kills_keep_recovering(pool):
+    for _ in range(2):
+        _call_until_ok(pool, os.getpid)
+        pool.kill_worker()
+        with pytest.raises(WorkerCrashError):
+            pool.call(os.getpid)
+    assert _call_until_ok(pool, os.getpid) > 0

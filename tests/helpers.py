@@ -4,7 +4,13 @@
 * :func:`free_port` / :class:`ServerFixture` — run the real
   ``repro-serve`` daemon in a subprocess on an ephemeral port with
   guaranteed teardown (the `server`-marked suite uses it; in-process
-  tests use :func:`repro.serve.running_server` instead).
+  tests use :func:`repro.serve.running_server` instead);
+* :class:`DripClient` — a raw-socket HTTP client that misbehaves on
+  purpose (partial headers, dribbled bodies, truncated streams) for
+  the slow-loris suite.  Synchronization is event-based: the client
+  stops sending and *waits for the server's verdict* (a 408/400
+  response or EOF), so the tests never sleep to "give the server
+  time".
 """
 
 from __future__ import annotations
@@ -18,7 +24,7 @@ import sys
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -65,6 +71,100 @@ def http_post(url: str, payload: Any,
         return error.code, json.loads(error.read())
 
 
+class DripClient:
+    """A deliberately slow / broken HTTP client over a raw socket.
+
+    The server under test gets small ``--header-timeout`` /
+    ``--body-timeout`` budgets; the client sends a *partial* request
+    and then blocks in :meth:`read_response` until the server acts.
+    The server's own timer is the only clock — when it fires, the
+    client unblocks with the structured error (or EOF), so a passing
+    test proves the defense rather than racing it.
+    """
+
+    def __init__(self, host: str, port: int, *,
+                 timeout: float = 30.0):
+        self.sock = socket.create_connection((host, port),
+                                             timeout=timeout)
+
+    @classmethod
+    def for_server(cls, server: "ServerFixture", *,
+                   timeout: float = 30.0) -> "DripClient":
+        return cls("127.0.0.1", server.port, timeout=timeout)
+
+    # -- sending -------------------------------------------------------
+    def send_raw(self, data: bytes) -> None:
+        self.sock.sendall(data)
+
+    def send_headers(self, method: str, path: str, *,
+                     content_length: Optional[int] = None,
+                     headers: Optional[Mapping[str, str]] = None,
+                     ) -> None:
+        lines = [f"{method} {path} HTTP/1.1",
+                 "Host: repro-test",
+                 "Content-Type: application/json"]
+        if content_length is not None:
+            lines.append(f"Content-Length: {content_length}")
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        self.send_raw(("\r\n".join(lines) + "\r\n\r\n").encode())
+
+    def half_close(self) -> None:
+        """Stop sending forever (``shutdown(SHUT_WR)``): the server
+        sees EOF mid-body — the truncated-upload case."""
+        self.sock.shutdown(socket.SHUT_WR)
+
+    # -- receiving -----------------------------------------------------
+    def read_response(self) -> Tuple[int, Any]:
+        """Block until the server answers; ``(status, parsed body)``.
+
+        Returns ``(0, b"")`` when the server closes the connection
+        without a response (the header slow-loris outcome).
+        """
+        raw = b""
+        while b"\r\n\r\n" not in raw:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                return 0, b""
+            raw += chunk
+        head, _, body = raw.partition(b"\r\n\r\n")
+        status_line, *header_lines = head.decode("latin-1").split("\r\n")
+        status = int(status_line.split()[1])
+        length = 0
+        for line in header_lines:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        while len(body) < length:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                break
+            body += chunk
+        try:
+            return status, json.loads(body)
+        except ValueError:
+            return status, body
+
+    def wait_for_close(self) -> bool:
+        """True when the server closed the connection (EOF)."""
+        try:
+            return self.sock.recv(1) == b""
+        except OSError:
+            return True
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "DripClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 class ServerFixture:
     """The real ``repro-serve`` daemon in a subprocess.
 
@@ -86,6 +186,7 @@ class ServerFixture:
                  no_cache: bool = False,
                  job_workers: int = 2,
                  port: int = 0,
+                 extra_args: Optional[Sequence[str]] = None,
                  extra_env: Optional[Mapping[str, str]] = None,
                  startup_timeout: float = 60.0):
         argv = [sys.executable, "-m", "repro.serve",
@@ -99,6 +200,8 @@ class ServerFixture:
             argv += ["--cache-dir", cache_dir]
         if no_cache:
             argv += ["--no-cache"]
+        if extra_args:
+            argv += list(extra_args)
         env = dict(os.environ)
         env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
         env["PYTHONUNBUFFERED"] = "1"

@@ -150,6 +150,37 @@ class TestCheck:
         assert (_main(history, "check", "--floors",
                       str(tmp_path / "nope.json")) == EXIT_VIOLATION)
 
+    def test_section_selects_nested_floors(self, history, tmp_path,
+                                           capsys):
+        history.append(_record(
+            command="repro.serve",
+            completed=1,
+            extra_metrics={"serve.admission.shed":
+                           {"type": "counter", "value": 3}}))
+        floors = self._floors(tmp_path, {
+            "metrics_min": {"absent.would.fail": 99},
+            "sections": {
+                "serve": {"metrics_min": {"serve.admission.shed": 1}},
+            },
+        })
+        # the section replaces the top-level floors entirely
+        assert _main(history, "check", "--floors", floors,
+                     "--section", "serve") == 0
+        assert "passed 1 check(s)" in capsys.readouterr().out
+        assert (_main(history, "check", "--floors", floors)
+                == EXIT_VIOLATION)
+
+    def test_unknown_section_lists_available(self, history, tmp_path,
+                                             capsys):
+        history.append(_record(completed=1))
+        floors = self._floors(tmp_path, {
+            "sections": {"serve": {"metrics_min": {}}},
+        })
+        assert (_main(history, "check", "--floors", floors,
+                      "--section", "nope") == EXIT_VIOLATION)
+        err = capsys.readouterr().err
+        assert "no section 'nope'" in err and "serve" in err
+
 
 class TestExport:
     def test_openmetrics_roundtrip(self, history, capsys):

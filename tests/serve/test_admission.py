@@ -1,0 +1,280 @@
+"""Admission control: bulkheads shed, warm hits never queue, rate
+limits throttle per connection, deadlines surface as 504.
+
+Synchronization is event-based throughout: the gated endpoint signals
+when its compute has *entered* (so the bulkhead slot is provably
+held), and the test releases it explicitly — no sleeps standing in
+for ordering.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.errors import BindingError, BusyError
+from repro.exec.store import ResultStore
+from repro.serve import ENDPOINTS, Endpoint, ServeConfig, \
+    running_server
+from repro.serve.admission import AdmissionConfig, \
+    AdmissionController, Bulkhead, TokenBucket
+
+from ..helpers import http_post
+
+
+# -- unit: TokenBucket -------------------------------------------------------
+
+class TestTokenBucket:
+    def test_burst_then_throttle(self):
+        bucket = TokenBucket(rate=1.0, burst=3)
+        assert [bucket.try_take() for _ in range(3)] == [0.0] * 3
+        wait = bucket.try_take()
+        assert 0.0 < wait <= 1.0
+
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1)
+
+
+# -- unit: Bulkhead ----------------------------------------------------------
+
+class TestBulkhead:
+    def test_admits_up_to_width(self):
+        head = Bulkhead("t", width=2, queue_depth=0, queue_timeout=30)
+        with head.admit():
+            with head.admit():
+                with pytest.raises(BusyError) as excinfo:
+                    with head.admit():
+                        pass
+        assert excinfo.value.code == "E-BUSY"
+        assert excinfo.value.retry_after > 0
+
+    def test_queue_timeout_sheds(self):
+        head = Bulkhead("t", width=1, queue_depth=4,
+                        queue_timeout=0.05)
+        with head.admit():
+            with pytest.raises(BusyError) as excinfo:
+                with head.admit():
+                    pass
+        assert "queue timeout" in excinfo.value.message
+
+    def test_queued_request_proceeds_after_release(self):
+        head = Bulkhead("t", width=1, queue_depth=4,
+                        queue_timeout=30.0)
+        entered = threading.Event()
+        release = threading.Event()
+        outcome = {}
+
+        def holder():
+            with head.admit():
+                entered.set()
+                assert release.wait(timeout=30)
+
+        def waiter():
+            assert entered.wait(timeout=30)
+            with head.admit():
+                outcome["admitted"] = True
+
+        threads = [threading.Thread(target=holder),
+                   threading.Thread(target=waiter)]
+        for t in threads:
+            t.start()
+        assert entered.wait(timeout=30)
+        release.set()
+        for t in threads:
+            t.join(timeout=30)
+        assert outcome.get("admitted") is True
+
+    def test_slot_released_after_body_raises(self):
+        head = Bulkhead("t", width=1, queue_depth=0,
+                        queue_timeout=30.0)
+        with pytest.raises(RuntimeError):
+            with head.admit():
+                raise RuntimeError("compute blew up")
+        with head.admit():  # slot must be free again
+            pass
+
+
+def test_controller_reuses_family_bulkheads():
+    controller = AdmissionController(AdmissionConfig(bulkhead_width=3))
+    assert controller.bulkhead("sweep") is controller.bulkhead("sweep")
+    assert controller.bulkhead("sweep").width == 3
+    assert "sweep" in controller.snapshot()
+
+
+def test_rate_limit_disabled_by_default():
+    controller = AdmissionController()
+    assert controller.connection_bucket() is None
+    controller.check_bucket(None)  # must be a no-op
+
+
+# -- service/server level ----------------------------------------------------
+
+def _gated_endpoint(entered: threading.Event,
+                    release: threading.Event) -> Endpoint:
+    def normalize(params):
+        if not isinstance(params, dict) or "tag" not in params:
+            raise BindingError("missing required field 'tag'")
+        return {"tag": str(params["tag"])}
+
+    def compute(params):
+        entered.set()
+        assert release.wait(timeout=60), "test gate never released"
+        return {"tag": params["tag"]}
+
+    return Endpoint("gated", normalize, compute)
+
+
+def _counter(name: str) -> float:
+    return obs.snapshot().get(name, {}).get("value", 0)
+
+
+def test_saturated_bulkhead_sheds_429_with_retry_after(monkeypatch):
+    entered, release = threading.Event(), threading.Event()
+    monkeypatch.setitem(ENDPOINTS, "gated",
+                        _gated_endpoint(entered, release))
+    config = ServeConfig(bulkhead_width=1, queue_depth=0)
+    shed_before = _counter("serve.admission.shed")
+    with running_server(store=None, config=config) as server:
+        leader_result = {}
+
+        def leader():
+            leader_result["response"] = http_post(
+                server.url + "/v1/gated", {"tag": "hold"})
+
+        thread = threading.Thread(target=leader)
+        thread.start()
+        assert entered.wait(timeout=60), "leader never computed"
+        # distinct tag => distinct key => no coalescing: this request
+        # needs its own slot and the family has none to give
+        import urllib.error
+        import urllib.request
+        request = urllib.request.Request(
+            server.url + "/v1/gated",
+            data=json.dumps({"tag": "shed-me"}).encode(),
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 429
+        assert int(excinfo.value.headers["Retry-After"]) >= 1
+        payload = json.loads(excinfo.value.read())
+        assert payload["error"]["code"] == "E-BUSY"
+        release.set()
+        thread.join(timeout=60)
+        assert leader_result["response"][0] == 200
+    assert _counter("serve.admission.shed") > shed_before
+
+
+def test_warm_hits_served_while_cold_compute_blocked(
+        monkeypatch, tmp_path):
+    """The tentpole invariant: a store hit must never queue behind a
+    cold compute — even in-process, where the compute semaphore has
+    width 1 and is *held* by the blocked leader."""
+    entered, release = threading.Event(), threading.Event()
+    monkeypatch.setitem(ENDPOINTS, "gated",
+                        _gated_endpoint(entered, release))
+    store = ResultStore(str(tmp_path / "store"))
+    with running_server(store=store) as server:
+        # warm the store with a real (cheap) query
+        status, first = http_post(server.url + "/v1/exhibit",
+                                  {"name": "table2"})
+        assert status == 200
+        # occupy the cold path: compute semaphore + bulkhead slot held
+        thread = threading.Thread(
+            target=http_post,
+            args=(server.url + "/v1/gated", {"tag": "block"}))
+        thread.start()
+        assert entered.wait(timeout=60)
+        hits_before = _counter("exec.store.hit")
+        status, again = http_post(server.url + "/v1/exhibit",
+                                  {"name": "table2"}, timeout=30)
+        assert status == 200
+        assert again == first
+        assert _counter("exec.store.hit") > hits_before
+        release.set()
+        thread.join(timeout=60)
+
+
+def test_per_connection_rate_limit_throttles(monkeypatch):
+    config = ServeConfig(rate_limit=1.0, rate_burst=2)
+    with running_server(store=None, config=config) as server:
+        # one keep-alive connection: the bucket is per connection, and
+        # the token check runs before body parsing (garbage bodies
+        # cost tokens too — a misbehaving client cannot dodge it)
+        conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                          timeout=30)
+        try:
+            statuses = []
+            for _ in range(3):
+                conn.request("POST", "/v1/sweep", body=b"{not json",
+                             headers={"Content-Type":
+                                      "application/json"})
+                response = conn.getresponse()
+                statuses.append(response.status)
+                body = json.loads(response.read())
+                if response.status == 429:
+                    assert body["error"]["code"] == "E-BUSY"
+                    assert "rate limit" in body["error"]["message"]
+                    assert int(response.headers["Retry-After"]) >= 1
+            assert statuses == [400, 400, 429]
+        finally:
+            conn.close()
+
+
+def test_deadline_via_query_param_is_504_with_progress():
+    with running_server(store=None) as server:
+        status, body = http_post(
+            server.url + "/v1/sweep?deadline_ms=0.001",
+            {"domain": "word_lm"})
+        assert status == 504
+        assert body["error"]["code"] == "E-DEADLINE"
+        stages = [frame.get("stage")
+                  for frame in body["error"].get("context", [])
+                  if isinstance(frame, dict)]
+        assert stages, body
+
+
+def test_deadline_via_header_is_504():
+    import urllib.error
+    import urllib.request
+    with running_server(store=None) as server:
+        request = urllib.request.Request(
+            server.url + "/v1/sweep",
+            data=json.dumps({"domain": "word_lm"}).encode(),
+            headers={"Content-Type": "application/json",
+                     "X-Repro-Deadline-Ms": "0.001"})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 504
+        payload = json.loads(excinfo.value.read())
+        assert payload["error"]["code"] == "E-DEADLINE"
+
+
+def test_invalid_deadline_is_structured_400():
+    with running_server(store=None) as server:
+        status, body = http_post(
+            server.url + "/v1/sweep?deadline_ms=banana",
+            {"domain": "word_lm"})
+        assert status == 400
+        assert body["error"]["code"] == "E-BIND"
+        assert "deadline_ms" in body["error"]["message"]
+
+
+def test_deadline_outcome_counters(monkeypatch):
+    met_before = _counter("serve.deadline.met")
+    exceeded_before = _counter("serve.deadline.exceeded")
+    with running_server(store=None) as server:
+        status, _ = http_post(
+            server.url + "/v1/exhibit?deadline_ms=600000",
+            {"name": "table2"})
+        assert status == 200
+        status, _ = http_post(
+            server.url + "/v1/sweep?deadline_ms=0.001",
+            {"domain": "word_lm"})
+        assert status == 504
+    assert _counter("serve.deadline.met") > met_before
+    assert _counter("serve.deadline.exceeded") > exceeded_before

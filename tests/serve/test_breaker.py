@@ -1,0 +1,216 @@
+"""Circuit breaker: the closed → open → half-open → closed cycle.
+
+The unit tests drive a fake clock, so every transition is asserted at
+an exact instant — no sleeps.  The service-level test then proves the
+wiring: an endpoint whose computes fail trips its family's breaker,
+requests shed 429 while it is open, and a recovered compute closes it
+through the half-open probe.  Client errors (E-BIND) must never
+count as failures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.errors import BindingError, BusyError
+from repro.serve import ENDPOINTS, Endpoint, ServeConfig, \
+    running_server
+from repro.serve.breaker import BreakerBoard, BreakerConfig, \
+    CircuitBreaker
+
+from ..helpers import http_post
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_breaker(clock, **kwargs) -> CircuitBreaker:
+    defaults = dict(failure_threshold=3, cooldown=10.0, backoff=2.0,
+                    max_cooldown=60.0)
+    defaults.update(kwargs)
+    return CircuitBreaker("test", BreakerConfig(**defaults),
+                          clock=clock)
+
+
+class TestCycle:
+    def test_threshold_consecutive_failures_trip(self):
+        breaker = make_breaker(FakeClock())
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state() == "closed"
+        breaker.record_failure()
+        assert breaker.state() == "open"
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = make_breaker(FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state() == "closed"
+
+    def test_open_sheds_with_remaining_cooldown(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now += 4.0  # 6s of the 10s cooldown left
+        with pytest.raises(BusyError) as excinfo:
+            breaker.before_call()
+        assert excinfo.value.retry_after == pytest.approx(6.0)
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now += 10.0
+        breaker.before_call()  # the probe
+        assert breaker.state() == "half_open"
+        with pytest.raises(BusyError):
+            breaker.before_call()  # everyone else sheds
+
+    def test_probe_success_closes_and_resets_backoff(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now += 10.0
+        breaker.before_call()
+        breaker.record_success()
+        assert breaker.state() == "closed"
+        # a later trip starts from the base cooldown again
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now += 10.0
+        breaker.before_call()
+        assert breaker.state() == "half_open"
+
+    def test_probe_failure_reopens_with_longer_cooldown(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now += 10.0
+        breaker.before_call()
+        breaker.record_failure()  # the probe fails
+        assert breaker.state() == "open"
+        clock.now += 10.0  # base cooldown elapsed — but it doubled
+        with pytest.raises(BusyError):
+            breaker.before_call()
+        clock.now += 10.0  # 20s total: the doubled cooldown is up
+        breaker.before_call()
+        assert breaker.state() == "half_open"
+
+    def test_backoff_caps_at_max_cooldown(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock, cooldown=10.0, backoff=10.0,
+                               max_cooldown=25.0)
+        for _ in range(3):
+            breaker.record_failure()
+        for _ in range(3):  # keep failing the probe
+            clock.now += 100.0
+            breaker.before_call()
+            breaker.record_failure()
+        assert breaker._cooldown == 25.0
+
+    def test_chaos_trip_and_reset(self):
+        breaker = make_breaker(FakeClock())
+        breaker.trip()
+        assert breaker.state() == "open"
+        breaker.reset()
+        assert breaker.state() == "closed"
+        breaker.before_call()  # flows again
+
+
+def test_board_is_per_family():
+    board = BreakerBoard(BreakerConfig(failure_threshold=1))
+    board.breaker("sweep").record_failure()
+    assert board.breaker("sweep").state() == "open"
+    assert board.breaker("plan").state() == "closed"
+    assert board.snapshot() == {"plan": "closed", "sweep": "open"}
+
+
+# -- service level -----------------------------------------------------------
+
+def _flaky_endpoint(plan: dict) -> Endpoint:
+    """Computes fail while ``plan["failing"]`` is set."""
+
+    def normalize(params):
+        if not isinstance(params, dict) or "tag" not in params:
+            raise BindingError("missing required field 'tag'")
+        return {"tag": str(params["tag"])}
+
+    def compute(params):
+        if plan["failing"]:
+            raise RuntimeError("dependency down")
+        return {"tag": params["tag"]}
+
+    return Endpoint("flaky", normalize, compute)
+
+
+def _counter(name: str) -> float:
+    return obs.snapshot().get(name, {}).get("value", 0)
+
+
+def test_breaker_cycle_over_http(monkeypatch):
+    plan = {"failing": True}
+    monkeypatch.setitem(ENDPOINTS, "flaky", _flaky_endpoint(plan))
+    config = ServeConfig(breaker_threshold=2, breaker_cooldown=0.2)
+    opens_before = _counter("serve.breaker.open")
+    closes_before = _counter("serve.breaker.close")
+    with running_server(store=None, config=config) as server:
+        # two infrastructure failures -> structured 503s (a foreign
+        # compute exception is E-EXEC, never a 500), breaker opens
+        for i in range(2):
+            status, body = http_post(server.url + "/v1/flaky",
+                                     {"tag": f"f{i}"})
+            assert status == 503
+            assert body["error"]["code"] == "E-EXEC"
+            assert "dependency down" in body["error"]["message"]
+        # open: shed instantly with 429 — the compute never runs
+        status, body = http_post(server.url + "/v1/flaky",
+                                 {"tag": "shed"})
+        assert status == 429
+        assert body["error"]["code"] == "E-BUSY"
+        assert "circuit breaker" in body["error"]["message"]
+        # after the cooldown the half-open probe runs the (now
+        # recovered) compute and closes the breaker
+        plan["failing"] = False
+        import time
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            status, body = http_post(server.url + "/v1/flaky",
+                                     {"tag": "probe"})
+            if status == 200:
+                break
+            assert status == 429  # still cooling down
+            time.sleep(0.05)
+        assert status == 200
+        # closed again: a fresh tag flows straight through
+        status, _ = http_post(server.url + "/v1/flaky",
+                              {"tag": "after"})
+        assert status == 200
+    assert _counter("serve.breaker.open") > opens_before
+    assert _counter("serve.breaker.close") > closes_before
+
+
+def test_client_errors_do_not_trip_the_breaker(monkeypatch):
+    plan = {"failing": False}
+    monkeypatch.setitem(ENDPOINTS, "flaky", _flaky_endpoint(plan))
+    config = ServeConfig(breaker_threshold=2)
+    with running_server(store=None, config=config) as server:
+        for _ in range(5):
+            status, body = http_post(server.url + "/v1/flaky",
+                                     {"wrong": "field"})
+            assert status == 400
+        status, _ = http_post(server.url + "/v1/flaky",
+                              {"tag": "fine"})
+        assert status == 200  # breaker never opened

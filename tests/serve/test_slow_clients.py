@@ -1,0 +1,123 @@
+"""Slow-loris and malformed-transfer defense.
+
+All tests run against an in-process server configured with small
+header/body budgets and drive it with :class:`tests.helpers.
+DripClient` — a raw socket that sends partial requests on purpose.
+The client never sleeps to synchronize: it sends its fragment and
+blocks on the server's verdict (a structured response or EOF), so the
+server's own timer is the only clock in play.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+
+import pytest
+
+from repro.serve import ServeConfig, running_server
+
+from ..helpers import DripClient, http_post
+
+
+@contextmanager
+def small_budget_server(**overrides):
+    config = ServeConfig(**{
+        "header_timeout": 0.5,
+        "body_timeout": 0.5,
+        "max_body_bytes": 4096,
+        **overrides})
+    with running_server(store=None, config=config) as server:
+        yield server
+
+
+def drip(server) -> DripClient:
+    return DripClient("127.0.0.1", server.port, timeout=30.0)
+
+
+def test_header_drip_gets_disconnected():
+    with small_budget_server() as server:
+        with drip(server) as client:
+            client.send_raw(b"POST /v1/swe")  # ...and never finishes
+            assert client.wait_for_close(), \
+                "server kept a header-dripping connection open"
+        # the listener itself is fine
+        status, _ = http_post(server.url + "/v1/sweep", {"bad": 1})
+        assert status == 400
+
+
+def test_body_drip_times_out_with_structured_408():
+    with small_budget_server() as server:
+        with drip(server) as client:
+            client.send_headers("POST", "/v1/sweep",
+                                content_length=100)
+            client.send_raw(b'{"domain": ')  # 11 of 100 bytes, stall
+            status, body = client.read_response()
+        assert status == 408
+        assert body["error"]["code"] == "E-BIND"
+        assert "body" in body["error"]["message"]
+        assert "Traceback" not in json.dumps(body)
+
+
+def test_truncated_body_is_structured_400():
+    with small_budget_server() as server:
+        with drip(server) as client:
+            client.send_headers("POST", "/v1/sweep",
+                                content_length=100)
+            client.send_raw(b'{"domain": "word_lm"')
+            client.half_close()  # EOF: the stream ends at 20 bytes
+            status, body = client.read_response()
+        assert status == 400
+        assert body["error"]["code"] == "E-BIND"
+        assert "truncated" in body["error"]["message"]
+        assert "100" in body["error"]["message"]
+        assert "20" in body["error"]["message"]
+
+
+def test_oversize_body_is_structured_413_naming_the_limit():
+    with small_budget_server(max_body_bytes=1000) as server:
+        payload = {"domain": "word_lm",
+                   "sizes": list(range(64, 64 + 400))}
+        raw = json.dumps(payload).encode()
+        assert len(raw) > 1000
+        status, body = http_post(server.url + "/v1/sweep", payload)
+        assert status == 413
+        assert body["error"]["code"] == "E-BIND"
+        # the limit and its knob are named, so the client can act
+        assert "1000" in body["error"]["message"]
+        assert "max_body_bytes" in body["error"]["message"]
+        assert "hint" in body["error"]
+
+
+def test_oversize_rejected_before_reading_the_body():
+    """The 413 must come from the Content-Length header alone — the
+    server never reads (or waits for) a body it will not accept."""
+    with small_budget_server(max_body_bytes=1000) as server:
+        with drip(server) as client:
+            client.send_headers("POST", "/v1/sweep",
+                                content_length=10_000_000)
+            # send nothing: a body-reading server would block here
+            # until its own body_timeout; the reject is immediate
+            status, body = client.read_response()
+        assert status == 413
+        assert body["error"]["code"] == "E-BIND"
+
+
+def test_connection_closed_after_body_error():
+    """A 408/413 poisons the byte stream (unread body bytes would be
+    parsed as the next request), so the server must hang up."""
+    with small_budget_server(max_body_bytes=1000) as server:
+        with drip(server) as client:
+            client.send_headers("POST", "/v1/sweep",
+                                content_length=2000)
+            status, _ = client.read_response()
+            assert status == 413
+            assert client.wait_for_close()
+
+
+def test_within_limit_body_still_accepted():
+    with small_budget_server(max_body_bytes=4096) as server:
+        status, body = http_post(server.url + "/v1/exhibit",
+                                 {"name": "table2"})
+        assert status == 200
+        assert body["result"]["kind"] == "table"

@@ -1,0 +1,142 @@
+"""Deadline propagation: the ambient scope and the kernel checks.
+
+The contract under test: a :class:`repro.deadline.Deadline` installed
+via :func:`deadline_scope` is visible to every cooperative
+:func:`check_deadline` call below it on the same thread, expiry raises
+:class:`~repro.errors.DeadlineError` (E-DEADLINE) carrying
+partial-progress diagnostics, and the long-running analysis kernels
+(``sweep_domain``, ``bisect_increasing``, ``choose_subbatch``) all
+check cooperatively.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.deadline import (Deadline, check_deadline, current_deadline,
+                            deadline_scope, remaining_ms)
+from repro.errors import DeadlineError
+
+
+def expired_deadline() -> Deadline:
+    deadline = Deadline(1.0)
+    deadline.expires_at = 0.0  # monotonic zero is long past
+    return deadline
+
+
+class TestScope:
+    def test_no_scope_is_a_noop(self):
+        assert current_deadline() is None
+        assert remaining_ms() is None
+        check_deadline("anything", detail=1)  # must not raise
+
+    def test_none_budget_installs_nothing(self):
+        with deadline_scope(None):
+            assert current_deadline() is None
+
+    def test_scope_installs_and_restores(self):
+        with deadline_scope(5000.0):
+            active = current_deadline()
+            assert active is not None
+            assert 0 < active.remaining_ms() <= 5000.0
+        assert current_deadline() is None
+
+    def test_nested_scope_keeps_earliest_expiry(self):
+        with deadline_scope(10_000.0):
+            outer = current_deadline()
+            with deadline_scope(50_000.0):
+                # the looser inner budget must not extend the outer
+                assert current_deadline().expires_at \
+                    <= outer.expires_at
+            assert current_deadline() is outer
+
+    def test_scope_is_thread_local(self):
+        seen = {}
+
+        def probe():
+            seen["other"] = current_deadline()
+
+        with deadline_scope(5000.0):
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+        assert seen["other"] is None
+
+    def test_expired_check_raises_with_progress(self):
+        with deadline_scope(5000.0):
+            current_deadline().expires_at = 0.0
+            with pytest.raises(DeadlineError) as excinfo:
+                check_deadline("fit", rows_done=3, rows_total=9)
+        error = excinfo.value
+        assert error.code == "E-DEADLINE"
+        assert error.progress["stage"] == "fit"
+        assert error.progress["rows_done"] == 3
+        assert "3" in error.render() and "fit" in error.render()
+
+    def test_progress_survives_pickling(self):
+        import pickle
+
+        with deadline_scope(5000.0):
+            current_deadline().expires_at = 0.0
+            with pytest.raises(DeadlineError) as excinfo:
+                check_deadline("sweep", points_done=7)
+        clone = pickle.loads(pickle.dumps(excinfo.value))
+        assert isinstance(clone, DeadlineError)
+        assert clone.code == "E-DEADLINE"
+        assert clone.progress["points_done"] == 7
+
+    def test_remaining_seconds_floored_for_waits(self):
+        deadline = expired_deadline()
+        # remaining_ms stays negative (error messages report the
+        # overshoot); remaining_s floors at 0 for wait(timeout=)
+        assert deadline.remaining_ms() < 0.0
+        assert deadline.remaining_s() == 0.0
+        assert deadline.expired()
+
+
+class TestKernelChecks:
+    """Every long-running kernel must notice an expired deadline."""
+
+    def test_sweep_domain_checks(self):
+        from repro.analysis.sweep import sweep_domain
+
+        with deadline_scope(60_000.0):
+            current_deadline().expires_at = 0.0
+            with pytest.raises(DeadlineError) as excinfo:
+                sweep_domain("word_lm", sizes=(64.0, 128.0, 256.0))
+        assert excinfo.value.progress["stage"] == "sweep"
+        assert "points_total" in excinfo.value.progress
+
+    def test_bisect_checks(self):
+        from repro.symbolic.solve import bisect_increasing
+
+        with deadline_scope(60_000.0):
+            current_deadline().expires_at = 0.0
+            with pytest.raises(DeadlineError) as excinfo:
+                bisect_increasing(lambda x: x * x, 1e9,
+                                  lo=1.0, hi=1e9)
+        assert excinfo.value.progress["stage"] in (
+            "bisect", "expand_bracket")
+
+    def test_choose_subbatch_checks(self):
+        from repro.analysis.sweep import sweep_domain
+        from repro.hardware.accelerator import V100_LIKE
+        from repro.planner.subbatch import choose_subbatch
+
+        model = sweep_domain("word_lm").symbolic
+        with deadline_scope(60_000.0):
+            current_deadline().expires_at = 0.0
+            with pytest.raises(DeadlineError) as excinfo:
+                choose_subbatch(model, 1e9, V100_LIKE)
+        assert excinfo.value.progress["stage"] == "choose_subbatch"
+        assert excinfo.value.progress["solves_total"] == 3
+
+    def test_generous_deadline_does_not_interfere(self):
+        from repro.analysis.sweep import sweep_domain
+
+        with deadline_scope(600_000.0):
+            result = sweep_domain("word_lm",
+                                  sizes=(64.0, 128.0, 256.0))
+        assert len(result.rows) == 3
